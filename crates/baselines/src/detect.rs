@@ -1,0 +1,194 @@
+//! FD/CFD-violation error detection.
+//!
+//! The baselines discover constraints on a clean split; this module applies
+//! them to an error-injected split. An FD `X → A` is violated by a *pair*
+//! of rows agreeing on `X` and differing on `A`; a row is flagged when it
+//! participates in any violating pair — which flags **every** row of a
+//! non-unanimous group, since each pairs with some disagreeing row. This is
+//! the standard FD-violation semantics and is exactly the localization
+//! weakness §2.2 of the paper attributes to FDs ("FD itself is not capable
+//! of localizing row-level errors"); the minority-vote heuristic is
+//! provided separately as [`detect_fd_violations_minority`] for ablation.
+//! A constant CFD flags pattern-matching rows that violate its consequent
+//! (CFDs, having a constant RHS, can localize).
+
+use crate::ctane::Cfd;
+use crate::fd::Fd;
+use guardrail_table::{Table, NULL_CODE};
+use std::collections::HashMap;
+
+/// Rows of `table` flagged by at least one FD under pair-violation
+/// semantics: every row of a group with conflicting dependent values
+/// (sorted, distinct).
+pub fn detect_fd_violations(table: &Table, fds: &[Fd]) -> Vec<usize> {
+    detect_fd_violations_impl(table, fds, false)
+}
+
+/// Minority-vote variant: within each conflicting group only the rows
+/// deviating from the group's majority dependent value are flagged. This
+/// grants FDs the row-level localization they do not natively have; kept as
+/// an ablation of the detection semantics.
+pub fn detect_fd_violations_minority(table: &Table, fds: &[Fd]) -> Vec<usize> {
+    detect_fd_violations_impl(table, fds, true)
+}
+
+fn detect_fd_violations_impl(table: &Table, fds: &[Fd], minority_only: bool) -> Vec<usize> {
+    let n = table.num_rows();
+    let mut flagged = vec![false; n];
+    for fd in fds {
+        let lhs_cols: Vec<&[u32]> =
+            fd.lhs.iter().map(|&c| table.column(c).expect("in range").codes()).collect();
+        let rhs = table.column(fd.rhs).expect("in range").codes();
+        let cards: Vec<u128> = fd
+            .lhs
+            .iter()
+            .map(|&c| table.column(c).expect("in range").distinct_count() as u128 + 1)
+            .collect();
+        // Group rows by LHS valuation.
+        let mut groups: HashMap<u128, Vec<u32>> = HashMap::new();
+        'rows: for row in 0..n {
+            let mut key = 0u128;
+            for (col, &card) in lhs_cols.iter().zip(&cards) {
+                let code = col[row];
+                if code == NULL_CODE {
+                    continue 'rows;
+                }
+                key = key * card + code as u128;
+            }
+            groups.entry(key).or_default().push(row as u32);
+        }
+        for rows in groups.values() {
+            if rows.len() < 2 {
+                continue;
+            }
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for &r in rows {
+                *counts.entry(rhs[r as usize]).or_default() += 1;
+            }
+            if counts.len() < 2 {
+                continue;
+            }
+            if minority_only {
+                let (&mode, _) = counts
+                    .iter()
+                    .max_by(|(ca, na), (cb, nb)| na.cmp(nb).then(cb.cmp(ca)))
+                    .expect("non-empty");
+                for &r in rows {
+                    if rhs[r as usize] != mode {
+                        flagged[r as usize] = true;
+                    }
+                }
+            } else {
+                // Pair semantics: everyone in a conflicting group is part of
+                // some violating pair.
+                for &r in rows {
+                    flagged[r as usize] = true;
+                }
+            }
+        }
+    }
+    (0..n).filter(|&r| flagged[r]).collect()
+}
+
+/// Rows of `table` flagged by at least one constant CFD (sorted, distinct).
+pub fn detect_cfd_violations(table: &Table, cfds: &[Cfd]) -> Vec<usize> {
+    let n = table.num_rows();
+    let mut flagged = vec![false; n];
+    for cfd in cfds {
+        // Resolve pattern/consequent values against this table's dictionaries.
+        let pattern: Option<Vec<(usize, u32)>> = cfd
+            .pattern
+            .iter()
+            .map(|(c, v)| table.column(*c).expect("in range").dictionary().lookup(v).map(|code| (*c, code)))
+            .collect();
+        let Some(pattern) = pattern else { continue };
+        let consequent = table.column(cfd.target).expect("in range").dictionary().lookup(&cfd.consequent);
+        let target = table.column(cfd.target).expect("in range").codes();
+        for row in 0..n {
+            let matches = pattern
+                .iter()
+                .all(|&(c, code)| table.column(c).expect("in range").code(row) == code);
+            if !matches {
+                continue;
+            }
+            let ok = consequent.map(|c| target[row] == c).unwrap_or(false);
+            if !ok {
+                flagged[row] = true;
+            }
+        }
+    }
+    (0..n).filter(|&r| flagged[r]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardrail_table::Value;
+
+    #[test]
+    fn fd_pair_semantics_flags_whole_conflicting_group() {
+        let t = Table::from_csv_str(
+            "a,b\n0,x\n0,x\n0,x\n0,z\n1,y\n1,y\n",
+        )
+        .unwrap();
+        // Every a=0 row participates in a violating pair with row 3; the
+        // unanimous a=1 group is untouched.
+        let flagged = detect_fd_violations(&t, &[Fd::new(vec![0], 1)]);
+        assert_eq!(flagged, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fd_minority_variant_localizes() {
+        let t = Table::from_csv_str(
+            "a,b\n0,x\n0,x\n0,x\n0,z\n1,y\n1,y\n",
+        )
+        .unwrap();
+        assert_eq!(detect_fd_violations_minority(&t, &[Fd::new(vec![0], 1)]), vec![3]);
+        // Group splits 2/1: only the minority row.
+        let t = Table::from_csv_str("a,b\n0,x\n0,x\n0,y\n").unwrap();
+        assert_eq!(detect_fd_violations_minority(&t, &[Fd::new(vec![0], 1)]), vec![2]);
+    }
+
+    #[test]
+    fn clean_data_flags_nothing() {
+        let t = Table::from_csv_str("a,b\n0,x\n0,x\n1,y\n1,y\n").unwrap();
+        assert!(detect_fd_violations(&t, &[Fd::new(vec![0], 1)]).is_empty());
+    }
+
+    #[test]
+    fn composite_lhs_detection() {
+        let t = Table::from_csv_str(
+            "a,b,c\n0,0,0\n0,0,0\n0,0,9\n1,1,0\n1,1,0\n",
+        )
+        .unwrap();
+        let flagged = detect_fd_violations(&t, &[Fd::new(vec![0, 1], 2)]);
+        assert_eq!(flagged, vec![0, 1, 2], "whole (0,0) group conflicts");
+        assert_eq!(detect_fd_violations_minority(&t, &[Fd::new(vec![0, 1], 2)]), vec![2]);
+    }
+
+    #[test]
+    fn cfd_flags_pattern_violations() {
+        let t = Table::from_csv_str("country,code\nUS,1\nUS,1\nUS,44\nUK,44\n").unwrap();
+        let cfd = Cfd {
+            pattern: vec![(0, Value::from("US"))],
+            target: 1,
+            consequent: Value::Int(1),
+            support: 3,
+            confidence: 1.0,
+        };
+        assert_eq!(detect_cfd_violations(&t, &[cfd]), vec![2]);
+    }
+
+    #[test]
+    fn cfd_with_unknown_pattern_value_is_inert() {
+        let t = Table::from_csv_str("country,code\nUK,44\n").unwrap();
+        let cfd = Cfd {
+            pattern: vec![(0, Value::from("Atlantis"))],
+            target: 1,
+            consequent: Value::Int(0),
+            support: 10,
+            confidence: 1.0,
+        };
+        assert!(detect_cfd_violations(&t, &[cfd]).is_empty());
+    }
+}

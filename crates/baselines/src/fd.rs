@@ -1,0 +1,53 @@
+//! Functional dependency representation.
+
+use std::fmt;
+
+/// A (possibly approximate) functional dependency `lhs → rhs` over column
+/// indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determinant columns (sorted).
+    pub lhs: Vec<usize>,
+    /// Dependent column.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Builds an FD, normalizing the LHS.
+    pub fn new(mut lhs: Vec<usize>, rhs: usize) -> Self {
+        lhs.sort_unstable();
+        lhs.dedup();
+        assert!(!lhs.contains(&rhs), "trivial FD");
+        Self { lhs, rhs }
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "->{}", self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_display() {
+        let fd = Fd::new(vec![3, 1, 3], 0);
+        assert_eq!(fd.lhs, vec![1, 3]);
+        assert_eq!(fd.to_string(), "1,3->0");
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial")]
+    fn trivial_rejected() {
+        Fd::new(vec![0, 1], 1);
+    }
+}

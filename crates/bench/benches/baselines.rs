@@ -1,0 +1,38 @@
+//! Criterion: baseline discovery algorithms (TANE / CTANE / FDX), for the
+//! offline-cost comparison alongside Table 4.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use guardrail_baselines::{ctane_discover, fdx_discover, tane_discover, CtaneConfig, FdxConfig, TaneConfig};
+use guardrail_datasets::paper_dataset;
+
+fn bench_discovery(c: &mut Criterion) {
+    let dataset = paper_dataset(9, 3000); // 21 attrs
+    let table = &dataset.clean;
+    let mut group = c.benchmark_group("fd_discovery_ds9_3k");
+    group.sample_size(10);
+    group.bench_function("tane", |b| {
+        b.iter(|| tane_discover(black_box(table), &TaneConfig::default()))
+    });
+    group.bench_function("ctane", |b| {
+        b.iter(|| ctane_discover(black_box(table), &CtaneConfig::default()))
+    });
+    group.bench_function("fdx", |b| {
+        b.iter(|| fdx_discover(black_box(table), &FdxConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_tane_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tane_rows_scaling");
+    group.sample_size(10);
+    for &rows in &[1000usize, 4000] {
+        let dataset = paper_dataset(2, rows);
+        group.bench_function(format!("{rows}_rows"), |b| {
+            b.iter(|| tane_discover(black_box(&dataset.clean), &TaneConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery, bench_tane_scaling);
+criterion_main!(benches);

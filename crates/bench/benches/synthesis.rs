@@ -1,0 +1,47 @@
+//! Criterion: the synthesis pipeline — Alg. 1 sketch filling, Alg. 2 with
+//! and without the statement-level cache (§7's optimization), and the
+//! end-to-end fit.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use guardrail_core::{Guardrail, GuardrailConfig};
+use guardrail_datasets::paper_dataset;
+use guardrail_pgm::learn_cpdag;
+use guardrail_synth::{fill_statement_sketch, synthesize_from_cpdag, StatementSketch, SynthesisConfig};
+
+fn bench_fill(c: &mut Criterion) {
+    let dataset = paper_dataset(2, 5000); // Lung Cancer / CANCER network
+    let table = &dataset.clean;
+    let sketch = StatementSketch::new(vec![2], 3); // cancer → xray
+    c.bench_function("alg1_fill_statement_5k_rows", |b| {
+        b.iter(|| fill_statement_sketch(black_box(table), black_box(&sketch), 0.02))
+    });
+}
+
+fn bench_mec_synthesis_cache(c: &mut Criterion) {
+    let dataset = paper_dataset(1, 3000); // Adult shape: 15 attrs
+    let table = &dataset.clean;
+    let cpdag = learn_cpdag(table, &Default::default());
+    let mut group = c.benchmark_group("alg2_mec_synthesis");
+    group.sample_size(10);
+    for (name, use_cache) in [("with_cache", true), ("without_cache", false)] {
+        group.bench_function(name, |b| {
+            let config =
+                SynthesisConfig { use_cache, parallel: false, ..SynthesisConfig::default() };
+            b.iter(|| synthesize_from_cpdag(black_box(table), &cpdag, &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_fit(c: &mut Criterion) {
+    let dataset = paper_dataset(2, 4000);
+    let mut group = c.benchmark_group("guardrail_fit");
+    group.sample_size(10);
+    group.bench_function("cancer_4k_rows", |b| {
+        b.iter(|| Guardrail::fit(black_box(&dataset.clean), &GuardrailConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fill, bench_mec_synthesis_cache, bench_end_to_end_fit);
+criterion_main!(benches);

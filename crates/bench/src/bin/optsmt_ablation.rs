@@ -1,0 +1,47 @@
+//! §8.3's OptSMT ablation: the sketch-free synthesizer's blow-up.
+//!
+//! The paper's νZ encoding produced tens of millions of clauses and timed
+//! out after 24 h even on the 4-attribute dataset. Our enumerative baseline
+//! reproduces the cost profile: candidate sketches × branches × rows of
+//! constraints, with a budget standing in for the wall clock. The binary
+//! also prints the analytic candidate-space sizes for every dataset.
+
+use guardrail_bench::printing::{banner, fmt_count};
+use guardrail_bench::{prepare, HarnessConfig};
+use guardrail_synth::optsmt::candidate_space;
+use guardrail_synth::{optsmt_synthesize, OptSmtConfig, OptSmtOutcome};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner(
+        "§8.3 — OptSMT-style sketch-free baseline",
+        &format!("rows cap {}; constraint budget stands in for the 24 h timeout", cfg.rows_cap),
+    );
+
+    println!("{:<4}{:>8}{:>18}{:>20}", "ID", "#Attr", "cand. sketches", "outcome");
+    for &id in &cfg.datasets {
+        let p = prepare(id, &cfg);
+        let attrs = p.dataset.spec.attrs;
+        let space = candidate_space(attrs, 3);
+        let outcome = optsmt_synthesize(
+            &p.train,
+            &OptSmtConfig { budget_constraints: 20_000_000, ..OptSmtConfig::default() },
+        );
+        let summary = match outcome {
+            OptSmtOutcome::Solved { coverage, constraints, candidates, .. } => format!(
+                "solved: cov {coverage:.2}, {} constraints, {candidates} candidates",
+                fmt_count(constraints as f64)
+            ),
+            OptSmtOutcome::Timeout { constraints, candidates, .. } => format!(
+                "TIMEOUT after {} constraints ({candidates} candidates)",
+                fmt_count(constraints as f64)
+            ),
+        };
+        println!("{:<4}{:>8}{:>18}{:>20}", id, attrs, fmt_count(space as f64), summary);
+    }
+    println!(
+        "\npaper: the OptSMT encoding yields tens of millions of clauses and finds no \
+         satisfiable solution within 24 h even on dataset #6 (4 attributes); the MEC \
+         sketch restriction (Table 7) is what makes synthesis tractable."
+    );
+}

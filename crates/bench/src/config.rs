@@ -1,0 +1,63 @@
+//! CLI configuration shared by every experiment binary.
+
+/// Harness options, parsed from the binary's command line.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Maximum rows materialized per dataset (`usize::MAX` with `--full`).
+    pub rows_cap: usize,
+    /// Dataset ids to run (default: all 12).
+    pub datasets: Vec<u8>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self { rows_cap: 6000, datasets: (1..=12).collect(), seed: 0xE0 }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `--full`, `--rows-cap N`, `--datasets 1,2,5`, `--seed N`.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => cfg.rows_cap = usize::MAX,
+                "--rows-cap" => {
+                    cfg.rows_cap = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--rows-cap needs a number");
+                }
+                "--datasets" => {
+                    cfg.datasets = args
+                        .next()
+                        .expect("--datasets needs a list")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("dataset ids are 1-12"))
+                        .collect();
+                }
+                "--seed" => {
+                    cfg.seed =
+                        args.next().and_then(|v| v.parse().ok()).expect("--seed needs a number");
+                }
+                other => panic!("unknown argument {other:?} (try --full / --rows-cap N / --datasets 1,2 / --seed N)"),
+            }
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = HarnessConfig::default();
+        assert_eq!(c.datasets.len(), 12);
+        assert_eq!(c.rows_cap, 6000);
+    }
+}

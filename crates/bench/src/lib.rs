@@ -1,0 +1,21 @@
+//! Shared harness for the paper-reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md`'s experiment index and `EXPERIMENTS.md` for
+//! recorded results). This library holds what they share: dataset
+//! preparation (materialize → split → inject), the per-dataset ML model,
+//! result-table formatting, and the paper's reference numbers for
+//! side-by-side printing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod prep;
+pub mod printing;
+pub mod queries;
+pub mod reference;
+
+pub use config::HarnessConfig;
+pub use prep::{prepare, PreparedDataset};
+pub use printing::{fmt_metric, fmt_opt};

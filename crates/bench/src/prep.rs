@@ -1,0 +1,91 @@
+//! Dataset preparation shared by the experiment binaries.
+
+use crate::config::HarnessConfig;
+use guardrail_datasets::{inject_errors, paper_dataset, GeneratedDataset, InjectConfig, InjectionReport};
+use guardrail_ml::Ensemble;
+use guardrail_table::{SplitSpec, Table};
+
+/// One dataset, fully staged for an experiment: discovery split, clean and
+/// error-injected evaluation splits, their ground truth, and a fitted model.
+pub struct PreparedDataset {
+    /// The generated dataset (clean table + ground-truth SEM).
+    pub dataset: GeneratedDataset,
+    /// Clean discovery/training split (60%).
+    pub train: Table,
+    /// Clean evaluation split (40%).
+    pub test_clean: Table,
+    /// Evaluation split with injected errors.
+    pub test_dirty: Table,
+    /// Ground truth of the injection.
+    pub injection: InjectionReport,
+    /// Ensemble fitted on the training split to predict the label column.
+    pub model: Ensemble,
+}
+
+impl PreparedDataset {
+    /// Indices of rows in the dirty split whose model prediction differs
+    /// from the prediction on the corresponding clean row — the paper's
+    /// "mis-predictions" (Tables 1 and 5).
+    pub fn mispredicted_rows(&self) -> Vec<usize> {
+        use guardrail_ml::Classifier;
+        let clean_preds = self.model.predict_table(&self.test_clean);
+        let dirty_preds = self.model.predict_table(&self.test_dirty);
+        clean_preds
+            .iter()
+            .zip(&dirty_preds)
+            .enumerate()
+            .filter(|(_, (c, d))| c != d)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Stages dataset `id` under `cfg`.
+///
+/// Splits 60/40, injects errors into the dirty split at the paper's rate
+/// (1%, small-dataset cap) across every non-label column — corrupting the
+/// label itself would not perturb model *inputs*, which is what the ML
+/// experiments measure.
+pub fn prepare(id: u8, cfg: &HarnessConfig) -> PreparedDataset {
+    let dataset = paper_dataset(id, cfg.rows_cap);
+    let (train, test_clean) = SplitSpec::new(0.6, cfg.seed ^ id as u64).split(&dataset.clean);
+    let mut test_dirty = test_clean.clone();
+    let columns: Vec<usize> =
+        (0..test_clean.num_columns()).filter(|&c| c != dataset.label_col).collect();
+    let injection = inject_errors(
+        &mut test_dirty,
+        &InjectConfig {
+            columns: Some(columns),
+            seed: cfg.seed.wrapping_mul(0x9E37).wrapping_add(id as u64),
+            ..InjectConfig::default()
+        },
+    );
+    let model = Ensemble::fit(&train, dataset.label_col);
+    PreparedDataset { dataset, train, test_clean, test_dirty, injection, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preparation_is_consistent() {
+        let cfg = HarnessConfig { rows_cap: 600, ..Default::default() };
+        let p = prepare(2, &cfg);
+        assert_eq!(p.train.num_rows() + p.test_clean.num_rows(), 600);
+        assert_eq!(p.test_clean.num_rows(), p.test_dirty.num_rows());
+        assert!(!p.injection.errors.is_empty());
+        // label column never corrupted
+        assert!(p.injection.errors.iter().all(|e| e.col != p.dataset.label_col));
+    }
+
+    #[test]
+    fn mispredictions_only_on_dirty_rows() {
+        let cfg = HarnessConfig { rows_cap: 1500, ..Default::default() };
+        let p = prepare(2, &cfg);
+        let mis = p.mispredicted_rows();
+        for &row in &mis {
+            assert!(p.injection.is_dirty(row), "clean row {row} mispredicted differently");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Result-table formatting helpers.
+
+/// Formats a metric, rendering NaN the way the paper's tables do.
+pub fn fmt_metric(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats an optional metric; `None` is the paper's "–" (baseline failed).
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => fmt_metric(v),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a large count in scientific notation like the paper's Table 7.
+pub fn fmt_count(v: f64) -> String {
+    if v < 1e4 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Prints a banner for an experiment binary.
+pub fn banner(title: &str, detail: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{detail}");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_metric(0.3561), "0.356");
+        assert_eq!(fmt_metric(f64::NAN), "NaN");
+        assert_eq!(fmt_opt(None), "-");
+        assert_eq!(fmt_opt(Some(1.0)), "1.000");
+        assert_eq!(fmt_count(216.0), "216");
+        assert_eq!(fmt_count(2.46e5), "2.46e5");
+    }
+}

@@ -1,0 +1,170 @@
+//! The ML-integrated query workload of Fig. 6.
+//!
+//! The paper's authors hand-wrote 4 queries per dataset (48 total). We
+//! instantiate 4 templates per dataset from its schema, covering the same
+//! shapes: a global CASE-WHEN rate, a grouped count of predictions, a
+//! grouped conditional rate, and a filtered per-prediction aggregate.
+
+use guardrail_table::{Table, Value};
+use std::collections::BTreeMap;
+
+/// Builds the four ML-integrated queries for a dataset. `model` is the
+/// catalog name of the model, `table` the catalog name of the relation.
+pub fn queries_for(table_name: &str, model: &str, table: &Table, label_col: usize) -> Vec<String> {
+    // Pick a label value to score against and low-cardinality attributes to
+    // group/filter by.
+    let label_value = table
+        .column(label_col)
+        .expect("label col")
+        .mode_code()
+        .map(|c| table.column(label_col).unwrap().dictionary().decode(c))
+        .unwrap_or(Value::Int(0));
+    let label_lit = sql_literal(&label_value);
+
+    let mut group_col = None;
+    let mut filter = None;
+    for (i, col) in table.columns().iter().enumerate() {
+        if i == label_col {
+            continue;
+        }
+        let card = col.distinct_count();
+        if (2..=8).contains(&card) {
+            let name = table.schema().field(i).unwrap().name().to_string();
+            if group_col.is_none() {
+                group_col = Some(name);
+            } else if filter.is_none() {
+                let v = col.dictionary().decode(col.mode_code().expect("non-empty"));
+                filter = Some((name, sql_literal(&v)));
+            }
+        }
+    }
+    let group_col = group_col.unwrap_or_else(|| {
+        // Fallback: any non-label column.
+        let i = (0..table.num_columns()).find(|&c| c != label_col).expect("≥2 columns");
+        table.schema().field(i).unwrap().name().to_string()
+    });
+    let (filter_col, filter_lit) =
+        filter.unwrap_or_else(|| (group_col.clone(), "NULL".to_string()));
+
+    let rate = format!("AVG(CASE WHEN PREDICT({model}) = {label_lit} THEN 1 ELSE 0 END)");
+    let mut queries = vec![
+        // Q1: global predicted rate (the Fig. 1 query shape).
+        format!("SELECT {rate} AS rate FROM {table_name}"),
+        // Q2: prediction histogram.
+        format!(
+            "SELECT PREDICT({model}) AS pred, COUNT(*) AS n FROM {table_name} \
+             GROUP BY pred ORDER BY pred"
+        ),
+        // Q3: grouped predicted rate.
+        format!(
+            "SELECT {g}, {rate} AS rate FROM {table_name} GROUP BY {g} ORDER BY {g}",
+            g = quote_ident(&group_col)
+        ),
+    ];
+    // Q4: filtered histogram (skipped filter degenerates to an unfiltered
+    // variant rather than producing an always-false predicate).
+    if filter_lit != "NULL" {
+        queries.push(format!(
+            "SELECT PREDICT({model}) AS pred, COUNT(*) AS n FROM {table_name} \
+             WHERE {f} = {lit} GROUP BY pred ORDER BY pred",
+            f = quote_ident(&filter_col),
+            lit = filter_lit
+        ));
+    } else {
+        queries.push(format!(
+            "SELECT PREDICT({model}) AS pred, COUNT(*) AS n FROM {table_name} \
+             GROUP BY pred ORDER BY pred"
+        ));
+    }
+    queries
+}
+
+fn quote_ident(name: &str) -> String {
+    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        && name.chars().next().map(|c| c.is_ascii_alphabetic()).unwrap_or(false)
+    {
+        name.to_string()
+    } else {
+        format!("\"{name}\"")
+    }
+}
+
+fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Null => "NULL".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Flattens a query result into `group-key → numeric vector` so runs over
+/// different data (clean / dirty / rectified) can be compared even when
+/// their group sets differ.
+pub fn result_signature(table: &Table) -> BTreeMap<String, Vec<f64>> {
+    let mut out = BTreeMap::new();
+    for row in 0..table.num_rows() {
+        let mut key = String::new();
+        let mut nums = Vec::new();
+        for col in 0..table.num_columns() {
+            let v = table.get(row, col).unwrap_or(Value::Null);
+            match v.as_f64() {
+                Some(f) if !matches!(v, Value::Str(_)) => nums.push(f),
+                _ => {
+                    key.push_str(&v.to_string());
+                    key.push('\u{1f}');
+                }
+            }
+        }
+        out.insert(key, nums);
+    }
+    out
+}
+
+/// L1 distance between two signatures (missing groups read as zeros), and
+/// the L1 norm of the reference — the ingredients of Fig. 6's relative
+/// error.
+pub fn signature_l1(observed: &BTreeMap<String, Vec<f64>>, reference: &BTreeMap<String, Vec<f64>>) -> (f64, f64) {
+    let mut distance = 0.0;
+    let mut norm = 0.0;
+    let keys: std::collections::BTreeSet<&String> =
+        observed.keys().chain(reference.keys()).collect();
+    for key in keys {
+        let zero = Vec::new();
+        let o = observed.get(key).unwrap_or(&zero);
+        let r = reference.get(key).unwrap_or(&zero);
+        let len = o.len().max(r.len());
+        for i in 0..len {
+            let ov = o.get(i).copied().unwrap_or(0.0);
+            let rv = r.get(i).copied().unwrap_or(0.0);
+            distance += (ov - rv).abs();
+            norm += rv.abs();
+        }
+    }
+    (distance, norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_four_queries() {
+        let t = Table::from_csv_str("a,b,label\nx,1,yes\ny,2,no\nx,1,yes\n").unwrap();
+        let qs = queries_for("t", "m", &t, 2);
+        assert_eq!(qs.len(), 4);
+        assert!(qs.iter().all(|q| q.contains("PREDICT(m)")));
+        assert!(qs[0].contains("'yes'"), "{}", qs[0]);
+    }
+
+    #[test]
+    fn signatures_align_groups() {
+        let a = Table::from_csv_str("g,n\nx,1\ny,2\n").unwrap();
+        let b = Table::from_csv_str("g,n\nx,1\nz,5\n").unwrap();
+        let (d, norm) = signature_l1(&result_signature(&a), &result_signature(&b));
+        // y: |2-0| + z: |0-5| = 7; reference norm = 1 + 5.
+        assert_eq!(d, 7.0);
+        assert_eq!(norm, 6.0);
+        let (zero, _) = signature_l1(&result_signature(&a), &result_signature(&a));
+        assert_eq!(zero, 0.0);
+    }
+}

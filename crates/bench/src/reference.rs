@@ -1,0 +1,70 @@
+//! The paper's reported numbers, for side-by-side printing.
+//!
+//! Only *shapes* are expected to reproduce (who wins, rough magnitudes);
+//! the substrate here is a synthetic SEM, not the authors' datasets.
+
+/// Table 3: Guardrail's F1 per dataset (ids 1–12).
+pub const T3_GUARDRAIL_F1: [f64; 12] =
+    [0.356, 0.411, 0.333, 0.061, 0.065, 0.723, 0.065, 0.065, 0.378, 0.051, 0.139, 0.139];
+
+/// Table 3: Guardrail's MCC per dataset.
+pub const T3_GUARDRAIL_MCC: [f64; 12] =
+    [0.389, 0.410, 0.355, -0.023, 0.161, 0.684, 0.170, 0.182, 0.477, 0.055, 0.121, 0.130];
+
+/// Table 3: how many of the 24 comparisons Guardrail wins in the paper.
+pub const T3_WINS: usize = 17;
+
+/// Table 1: injected error counts per dataset.
+pub const T1_ERRORS: [usize; 12] =
+    [3377, 1419, 35, 19, 6, 48, 124, 521, 444, 1404, 808, 2591];
+
+/// Table 1: mis-prediction counts per dataset.
+pub const T1_MISPRED: [usize; 12] = [426, 336, 2, 5, 5, 14, 14, 321, 25, 33, 41, 383];
+
+/// Table 1: Spearman ρ between errors and mis-predictions.
+pub const T1_SPEARMAN: f64 = 0.947;
+
+/// Table 4: offline synthesis time in seconds per dataset.
+pub const T4_TIME_S: [f64; 12] =
+    [665.0, 607.0, 1205.0, 690.0, 605.0, 604.0, 604.0, 614.0, 1376.0, 820.0, 1227.0, 1301.0];
+
+/// Table 5: P = detected mis-preds / detected errors, per dataset.
+pub const T5_P: [f64; 12] =
+    [0.13, 0.24, 0.06, 0.26, 0.83, 0.29, 0.11, 0.62, 0.06, 0.02, 0.05, 0.15];
+
+/// Table 6: Guardrail check time (s) per dataset.
+pub const T6_GUARDRAIL_S: [f64; 12] = [
+    1.367, 0.265, 0.007, 0.008, 0.014, 0.013, 0.045, 0.667, 0.149, 0.263, 0.078, 1.074,
+];
+
+/// Table 6: model inference time (s) per dataset.
+pub const T6_INFERENCE_S: [f64; 12] = [
+    1.754, 0.226, 0.091, 0.303, 0.353, 0.018, 0.173, 0.320, 0.306, 0.670, 0.083, 0.995,
+];
+
+/// Table 7: MEC sizes per dataset.
+pub const T7_DAGS_WITH_MEC: [usize; 12] = [216, 1, 5, 8, 5, 8, 8, 120, 18, 60, 168, 180];
+
+/// Table 7: enumeration times (s) per dataset.
+pub const T7_TIME_S: [f64; 12] =
+    [67.0, 4.0, 4.0, 4.0, 5.0, 5.0, 5.0, 13.0, 6.0, 20.0, 7.0, 12.0];
+
+/// Table 7: orientation-space sizes without the MEC restriction.
+pub const T7_DAGS_WITHOUT_MEC: [f64; 12] = [
+    2.46e5, 1.02e3, 2.20e13, 1.11e6, 5.11e3, 7.50e1, 3.76e9, 4.41e2, 1.05e7, 1.11e6, 3.33e10,
+    2.36e6,
+];
+
+/// Table 8: normalized coverage without the auxiliary sampler.
+pub const T8_WITHOUT_AUX: [f64; 12] =
+    [0.393, 0.623, 0.179, 0.000, 0.000, 0.000, 0.400, 0.054, 0.287, 0.145, 0.233, 0.227];
+
+/// Table 8: normalized coverage with the auxiliary sampler.
+pub const T8_WITH_AUX: [f64; 12] =
+    [0.395, 0.741, 0.442, 0.126, 0.109, 0.394, 0.409, 0.062, 0.305, 0.149, 0.242, 0.250];
+
+/// Fig. 6: the paper's average relative-error reduction across 48 queries.
+pub const F6_AVG_REDUCTION: f64 = 0.87;
+
+/// Fig. 7: the ε range the paper recommends.
+pub const F7_RECOMMENDED_EPS: (f64, f64) = (0.01, 0.05);

@@ -1,0 +1,333 @@
+//! The [`Guardrail`] type.
+
+use crate::report::{ApplyReport, DetectionReport};
+use crate::scheme::{ErrorScheme, RowOutcome};
+use guardrail_dsl::{CompiledProgram, Program};
+use guardrail_synth::{synthesize, SynthesisConfig, SynthesisOutcome};
+use guardrail_table::{Row, Table, Value};
+
+/// Synthesis configuration for [`Guardrail::fit`] (re-exported alias of the
+/// synthesis crate's config so downstream users need only this crate).
+pub type GuardrailConfig = SynthesisConfig;
+
+/// A rectification ambiguity: several matching branches disagree about the
+/// value one attribute should take on one row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RectifyConflict {
+    /// Row index.
+    pub row: usize,
+    /// The contested attribute.
+    pub attribute: String,
+    /// The literals proposed by the matching branches (≥ 2, not all equal).
+    pub candidates: Vec<Value>,
+}
+
+/// A fitted set of integrity constraints.
+///
+/// Construction runs the full offline pipeline (sketch learning → Alg. 2);
+/// the fitted object then validates / repairs incoming data, either in bulk
+/// ([`Guardrail::detect`] / [`Guardrail::apply`]) or row-by-row at query time
+/// ([`Guardrail::handle_row`]).
+#[derive(Debug, Clone)]
+pub struct Guardrail {
+    outcome: SynthesisOutcome,
+}
+
+impl Guardrail {
+    /// Synthesizes constraints from (ideally clean) training data.
+    pub fn fit(table: &Table, config: &GuardrailConfig) -> Self {
+        Self { outcome: synthesize(table, config) }
+    }
+
+    /// Wraps a hand-written or previously synthesized program.
+    pub fn from_program(program: Program) -> Self {
+        let outcome = SynthesisOutcome {
+            program,
+            coverage: f64::NAN,
+            cpdag: guardrail_graph::Pdag::new(0),
+            mec_size: 0,
+            truncated: false,
+            chosen_dag: None,
+            cache_stats: Default::default(),
+            statements: Vec::new(),
+        };
+        Self { outcome }
+    }
+
+    /// The synthesized DSL program.
+    pub fn program(&self) -> &Program {
+        &self.outcome.program
+    }
+
+    /// Full synthesis diagnostics (MEC size, coverage, cache stats, …).
+    pub fn outcome(&self) -> &SynthesisOutcome {
+        &self.outcome
+    }
+
+    /// Coverage of the fitted program on its training data.
+    pub fn coverage(&self) -> f64 {
+        self.outcome.coverage
+    }
+
+    /// Detects violations across `table` (Eqn. 1 applied row-wise).
+    pub fn detect(&self, table: &Table) -> DetectionReport {
+        let violations = match self.compile(table) {
+            Some(compiled) => compiled.check_table(table),
+            None => Vec::new(),
+        };
+        DetectionReport { violations, rows_checked: table.num_rows() }
+    }
+
+    /// Applies `scheme` to a copy of `table`, returning the processed table
+    /// and what was done.
+    ///
+    /// `Raise` performs detection only (callers inspect the report and abort
+    /// themselves — a library cannot meaningfully panic on data errors);
+    /// `Ignore` detects and leaves data untouched; `Coerce` nulls violated
+    /// dependent cells; `Rectify` overwrites them with the constraint's
+    /// literal.
+    pub fn apply(&self, table: &Table, scheme: ErrorScheme) -> (Table, ApplyReport) {
+        let mut out = table.clone();
+        let compiled = match self.compile(table) {
+            Some(c) => c,
+            None => return (out, ApplyReport::default()),
+        };
+        let violations = compiled.check_table(table);
+        let cells_changed = match scheme {
+            ErrorScheme::Raise | ErrorScheme::Ignore => 0,
+            ErrorScheme::Coerce => compiled.coerce_table(&mut out),
+            ErrorScheme::Rectify => compiled.rectify_table(&mut out),
+        };
+        (out, ApplyReport { violations, cells_changed })
+    }
+
+    /// Vets one incoming row under `scheme` — the query-time guardrail hook
+    /// of Fig. 1 (used by `guardrail-sqlexec` before every ML inference).
+    pub fn handle_row(&self, row: &Row, scheme: ErrorScheme) -> RowOutcome {
+        let program = self.program();
+        let violations = program.check_row(row);
+        if violations.is_empty() {
+            return RowOutcome::Clean(row.clone());
+        }
+        match scheme {
+            ErrorScheme::Raise => RowOutcome::Raised(violations),
+            ErrorScheme::Ignore => RowOutcome::Ignored(row.clone(), violations),
+            ErrorScheme::Coerce => {
+                let mut fixed = row.clone();
+                for v in &violations {
+                    fixed.set_by_name(&v.attribute, Value::Null);
+                }
+                RowOutcome::Coerced(fixed, violations)
+            }
+            ErrorScheme::Rectify => {
+                let fixed = program.execute_row(row);
+                RowOutcome::Rectified(fixed, violations)
+            }
+        }
+    }
+
+    /// Finds rows where rectification would be ambiguous: two or more
+    /// matching branches assign *different* literals to the same attribute
+    /// (the appendix-F "both attributes corrupted" regime, where blind
+    /// rectification can cascade a wrong value). `apply(Rectify)` resolves
+    /// such rows last-statement-wins; callers that prefer to quarantine them
+    /// can exclude these rows first.
+    pub fn conflicts(&self, table: &Table) -> Vec<RectifyConflict> {
+        let mut out = Vec::new();
+        let program = self.program();
+        for row_idx in 0..table.num_rows() {
+            let Some(row) = table.row_owned(row_idx) else { continue };
+            // Collect every matching branch's (attribute, literal) pair.
+            let mut assignments: std::collections::HashMap<&str, Vec<Value>> =
+                std::collections::HashMap::new();
+            for s in &program.statements {
+                for b in &s.branches {
+                    let matches = b.condition.conjuncts().iter().all(|(attr, lit)| {
+                        row.get_by_name(attr).map(|v| v == lit).unwrap_or(false)
+                    });
+                    if matches {
+                        assignments.entry(s.on.as_str()).or_default().push(b.literal.clone());
+                    }
+                }
+            }
+            for (attr, literals) in assignments {
+                let disagree = literals.windows(2).any(|w| w[0] != w[1]);
+                if disagree {
+                    out.push(RectifyConflict {
+                        row: row_idx,
+                        attribute: attr.to_string(),
+                        candidates: literals,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.row.cmp(&b.row).then(a.attribute.cmp(&b.attribute)));
+        out
+    }
+
+    fn compile(&self, table: &Table) -> Option<CompiledProgram> {
+        if self.outcome.program.statements.is_empty() {
+            return None;
+        }
+        // Compilation fails only when the program references attributes the
+        // table lacks; treat that as "no applicable constraints".
+        self.outcome.program.compile_for(table).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardrail_dsl::parse_program;
+
+    fn clean_table(rows: usize) -> Table {
+        let mut csv = String::from("zip,city,weather\n");
+        for i in 0..rows {
+            let (zip, city) = if i % 2 == 0 { (94704, "Berkeley") } else { (97201, "Portland") };
+            csv.push_str(&format!("{zip},{city},w{}\n", i % 7));
+        }
+        Table::from_csv_str(&csv).unwrap()
+    }
+
+    fn fitted(rows: usize) -> Guardrail {
+        Guardrail::fit(&clean_table(rows), &GuardrailConfig::default())
+    }
+
+    #[test]
+    fn fit_learns_zip_city_constraint() {
+        let g = fitted(600);
+        let stmts = &g.program().statements;
+        assert!(!stmts.is_empty(), "nothing learned");
+        assert!(
+            stmts.iter().any(|s| (s.on == "city") || (s.on == "zip")),
+            "zip↔city relationship missing: {}",
+            g.program()
+        );
+        // The weather column is pure noise: never constrained.
+        assert!(stmts.iter().all(|s| s.on != "weather"));
+        assert!(g.coverage() > 0.9);
+    }
+
+    #[test]
+    fn detect_and_schemes() {
+        let g = fitted(600);
+        let dirty =
+            Table::from_csv_str("zip,city,weather\n94704,gibbon,w0\n97201,Portland,w1\n").unwrap();
+        let report = g.detect(&dirty);
+        assert_eq!(report.dirty_rows(), vec![0]);
+        assert!((report.dirty_fraction() - 0.5).abs() < 1e-12);
+
+        let (ignored, rep) = g.apply(&dirty, ErrorScheme::Ignore);
+        assert_eq!(ignored.get(0, 1), Some(Value::from("gibbon")));
+        assert_eq!(rep.cells_changed, 0);
+        assert_eq!(rep.affected_rows(), vec![0]);
+
+        let (coerced, rep) = g.apply(&dirty, ErrorScheme::Coerce);
+        assert_eq!(coerced.get(0, 1), Some(Value::Null));
+        assert_eq!(rep.cells_changed, 1);
+
+        let (rectified, rep) = g.apply(&dirty, ErrorScheme::Rectify);
+        assert_eq!(rectified.get(0, 1), Some(Value::from("Berkeley")));
+        assert_eq!(rep.cells_changed, 1);
+        // Clean row untouched by any scheme.
+        assert_eq!(rectified.get(1, 1), Some(Value::from("Portland")));
+    }
+
+    #[test]
+    fn handle_row_outcomes() {
+        let g = fitted(400);
+        let dirty = Table::from_csv_str("zip,city,weather\n94704,gibbon,w0\n").unwrap();
+        let row = dirty.row_owned(0).unwrap();
+
+        match g.handle_row(&row, ErrorScheme::Raise) {
+            RowOutcome::Raised(v) => assert!(!v.is_empty()),
+            other => panic!("expected Raised, got {other:?}"),
+        }
+        match g.handle_row(&row, ErrorScheme::Rectify) {
+            RowOutcome::Rectified(fixed, v) => {
+                assert_eq!(fixed.get_by_name("city"), Some(&Value::from("Berkeley")));
+                assert_eq!(v.len(), 1);
+            }
+            other => panic!("expected Rectified, got {other:?}"),
+        }
+        match g.handle_row(&row, ErrorScheme::Coerce) {
+            RowOutcome::Coerced(fixed, _) => {
+                assert_eq!(fixed.get_by_name("city"), Some(&Value::Null));
+            }
+            other => panic!("expected Coerced, got {other:?}"),
+        }
+
+        let clean = Table::from_csv_str("zip,city,weather\n94704,Berkeley,w0\n").unwrap();
+        let outcome = g.handle_row(&clean.row_owned(0).unwrap(), ErrorScheme::Raise);
+        assert!(outcome.is_clean());
+        assert!(outcome.violations().is_empty());
+        assert!(outcome.row().is_some());
+    }
+
+    #[test]
+    fn conflict_detection_flags_ambiguous_rectification() {
+        // Two statements both constrain `status`: rel → status and
+        // household → status. A row whose rel and household disagree about
+        // status cannot be rectified unambiguously.
+        let program = parse_program(
+            r#"GIVEN rel ON status HAVING
+                   IF rel = "Husband" THEN status <- "Married";
+               GIVEN household ON status HAVING
+                   IF household = "Single-occupant" THEN status <- "Single";"#,
+        )
+        .unwrap();
+        let g = Guardrail::from_program(program);
+        let t = Table::from_csv_str(
+            "rel,household,status\n\
+             Husband,Family,Married\n\
+             Husband,Single-occupant,???\n\
+             Other,Single-occupant,Single\n",
+        )
+        .unwrap();
+        let conflicts = g.conflicts(&t);
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].row, 1);
+        assert_eq!(conflicts[0].attribute, "status");
+        assert_eq!(conflicts[0].candidates.len(), 2);
+        assert!(conflicts[0].candidates.contains(&Value::from("Married")));
+        assert!(conflicts[0].candidates.contains(&Value::from("Single")));
+        // Agreeing branches are not conflicts.
+        let agreeing = parse_program(
+            r#"GIVEN rel ON status HAVING
+                   IF rel = "Husband" THEN status <- "Married";
+                   IF rel = "Wife" THEN status <- "Married";"#,
+        )
+        .unwrap();
+        let g = Guardrail::from_program(agreeing);
+        assert!(g.conflicts(&t).is_empty());
+    }
+
+    #[test]
+    fn from_program_wraps_handwritten_constraints() {
+        let program = parse_program(
+            r#"GIVEN rel ON marital HAVING IF rel = "Husband" THEN marital <- "Married";"#,
+        )
+        .unwrap();
+        let g = Guardrail::from_program(program);
+        let dirty = Table::from_csv_str("rel,marital\nHusband,Separated\n").unwrap();
+        assert_eq!(g.detect(&dirty).dirty_rows(), vec![0]);
+        assert!(g.coverage().is_nan());
+    }
+
+    #[test]
+    fn empty_program_is_a_noop() {
+        let g = Guardrail::from_program(Program::empty());
+        let t = clean_table(10);
+        assert!(g.detect(&t).is_clean());
+        let (out, rep) = g.apply(&t, ErrorScheme::Rectify);
+        assert_eq!(out.to_csv_string(), t.to_csv_string());
+        assert_eq!(rep.cells_changed, 0);
+    }
+
+    #[test]
+    fn schema_mismatch_degrades_gracefully() {
+        let g = fitted(300);
+        let unrelated = Table::from_csv_str("x,y\n1,2\n").unwrap();
+        assert!(g.detect(&unrelated).is_clean());
+    }
+}

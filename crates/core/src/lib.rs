@@ -1,0 +1,48 @@
+//! Guardrail: the end-to-end integrity-constraint API.
+//!
+//! This crate ties the pipeline together behind the interface a user of the
+//! paper's system sees:
+//!
+//! ```text
+//! Guardrail::fit(&clean_split, &config)      // offline synthesis (§3–4)
+//!     .detect(&incoming)                     // Eqn. 1 error detection
+//!     / .apply(&incoming, ErrorScheme::...)  // raise | ignore | coerce | rectify (§7)
+//!     / .handle_row(&row, scheme)            // per-row guardrail for query time
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use guardrail_core::{ErrorScheme, Guardrail, GuardrailConfig};
+//! use guardrail_table::{Table, Value};
+//!
+//! // Clean training data: city is determined by zip.
+//! let csv = "zip,city\n".to_string()
+//!     + &"94704,Berkeley\n97201,Portland\n".repeat(200);
+//! let clean = Table::from_csv_str(&csv).unwrap();
+//! let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+//!
+//! // A corrupted row arrives at query time.
+//! let dirty = Table::from_csv_str("zip,city\n94704,gibbon\n").unwrap();
+//! let report = guard.detect(&dirty);
+//! assert_eq!(report.dirty_rows(), vec![0]);
+//!
+//! let (fixed, _) = guard.apply(&dirty, ErrorScheme::Rectify);
+//! assert_eq!(fixed.get(0, 1), Some(Value::from("Berkeley")));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod guardrail;
+pub mod numeric;
+pub mod report;
+pub mod scheme;
+
+pub use guardrail::{Guardrail, GuardrailConfig, RectifyConflict};
+pub use numeric::{NumericGuard, NumericGuardConfig, NumericViolation};
+pub use report::{ApplyReport, DetectionReport};
+pub use scheme::{ErrorScheme, RowOutcome};
+
+pub use guardrail_dsl::{Program, Violation};
+pub use guardrail_synth::SynthesisOutcome;

@@ -1,0 +1,248 @@
+//! Numeric range constraints — the Conformance-Constraint-style companion.
+//!
+//! §6 of the paper positions Guardrail as categorical-only and notes that
+//! Fariha et al.'s Conformance Constraints "can be used in conjunction with
+//! our approach that focuses on the categorical attributes". This module
+//! implements that conjunction at its simplest useful form: per-column
+//! quantile envelopes on numeric attributes. A fitted [`NumericGuard`] flags
+//! cells outside the `[q_lo, q_hi]` range observed in clean training data —
+//! the numeric outliers the DSL's equality conditions cannot express.
+
+use guardrail_table::{DataType, Table, Value};
+
+/// Configuration for [`NumericGuard::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct NumericGuardConfig {
+    /// Lower quantile of the allowed envelope.
+    pub lower_q: f64,
+    /// Upper quantile of the allowed envelope.
+    pub upper_q: f64,
+    /// Margin added on both sides, as a fraction of the envelope width
+    /// (guards against flagging legitimate values just past the training
+    /// extremes).
+    pub margin: f64,
+    /// Only columns with at least this many distinct numeric values are
+    /// treated as numeric measures (low-cardinality integers are categories
+    /// and belong to the DSL).
+    pub min_distinct: usize,
+}
+
+impl Default for NumericGuardConfig {
+    fn default() -> Self {
+        Self { lower_q: 0.005, upper_q: 0.995, margin: 0.05, min_distinct: 20 }
+    }
+}
+
+/// One learned numeric envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericRange {
+    /// Column name.
+    pub column: String,
+    /// Column index at fit time.
+    pub col: usize,
+    /// Smallest allowed value.
+    pub lo: f64,
+    /// Largest allowed value.
+    pub hi: f64,
+}
+
+/// A numeric out-of-range finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericViolation {
+    /// Row index.
+    pub row: usize,
+    /// Column name.
+    pub column: String,
+    /// The offending value.
+    pub value: f64,
+    /// The violated envelope.
+    pub range: (f64, f64),
+}
+
+/// Quantile-envelope constraints over a table's numeric columns.
+#[derive(Debug, Clone, Default)]
+pub struct NumericGuard {
+    ranges: Vec<NumericRange>,
+}
+
+impl NumericGuard {
+    /// Learns envelopes from (ideally clean) training data.
+    pub fn fit(table: &Table, config: &NumericGuardConfig) -> Self {
+        assert!(
+            0.0 <= config.lower_q && config.lower_q < config.upper_q && config.upper_q <= 1.0,
+            "quantiles must satisfy 0 ≤ lo < hi ≤ 1"
+        );
+        let mut ranges = Vec::new();
+        for (col, field) in table.schema().fields().iter().enumerate() {
+            if !matches!(field.data_type(), DataType::Int | DataType::Float) {
+                continue;
+            }
+            let column = table.column(col).expect("in range");
+            if column.distinct_count() < config.min_distinct {
+                continue;
+            }
+            let mut values: Vec<f64> =
+                column.iter().filter_map(|v| v.as_f64()).filter(|v| v.is_finite()).collect();
+            if values.len() < config.min_distinct {
+                continue;
+            }
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let lo = quantile(&values, config.lower_q);
+            let hi = quantile(&values, config.upper_q);
+            let pad = (hi - lo) * config.margin;
+            ranges.push(NumericRange {
+                column: field.name().to_string(),
+                col,
+                lo: lo - pad,
+                hi: hi + pad,
+            });
+        }
+        Self { ranges }
+    }
+
+    /// The learned envelopes.
+    pub fn ranges(&self) -> &[NumericRange] {
+        &self.ranges
+    }
+
+    /// Flags out-of-envelope numeric cells in `table` (resolved by column
+    /// name, so the table may have a different column order than at fit
+    /// time).
+    pub fn detect(&self, table: &Table) -> Vec<NumericViolation> {
+        let mut out = Vec::new();
+        for range in &self.ranges {
+            let Some(col) = table.schema().index_of(&range.column) else { continue };
+            let column = table.column(col).expect("resolved");
+            for row in 0..table.num_rows() {
+                let Some(v) = column.get(row).and_then(|v| v.as_f64()) else { continue };
+                if v < range.lo || v > range.hi {
+                    out.push(NumericViolation {
+                        row,
+                        column: range.column.clone(),
+                        value: v,
+                        range: (range.lo, range.hi),
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|v| v.row);
+        out
+    }
+
+    /// Sorted, distinct rows with at least one numeric violation.
+    pub fn dirty_rows(&self, table: &Table) -> Vec<usize> {
+        let mut rows: Vec<usize> = self.detect(table).into_iter().map(|v| v.row).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Clamps out-of-envelope cells to the nearest bound (the numeric
+    /// analogue of `rectify`). Returns the number of cells changed.
+    pub fn clamp_table(&self, table: &mut Table) -> usize {
+        let violations = self.detect(table);
+        let mut changed = 0;
+        for v in violations {
+            let Some(col) = table.schema().index_of(&v.column) else { continue };
+            let clamped = v.value.clamp(v.range.0, v.range.1);
+            table.set(v.row, col, Value::float(clamped)).expect("cell in range");
+            changed += 1;
+        }
+        changed
+    }
+}
+
+/// Linear-interpolated quantile of a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < sorted.len() {
+        sorted[i] * (1.0 - frac) + sorted[i + 1] * frac
+    } else {
+        sorted[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardrail_table::TableBuilder;
+
+    fn table_with_ages(extra: &[i64]) -> Table {
+        let mut b = TableBuilder::new(vec!["age".into(), "city".into()]);
+        for i in 0..200 {
+            b.push_row(vec![Value::Int(20 + (i % 50)), Value::from(format!("c{}", i % 3))])
+                .unwrap();
+        }
+        for &v in extra {
+            b.push_row(vec![Value::Int(v), Value::from("c0")]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn learns_envelope_on_numeric_only() {
+        let t = table_with_ages(&[]);
+        let g = NumericGuard::fit(&t, &NumericGuardConfig::default());
+        assert_eq!(g.ranges().len(), 1);
+        let r = &g.ranges()[0];
+        assert_eq!(r.column, "age");
+        assert!(r.lo <= 20.0 && r.hi >= 69.0, "{r:?}");
+    }
+
+    #[test]
+    fn flags_outliers_and_clamps() {
+        let clean = table_with_ages(&[]);
+        let g = NumericGuard::fit(&clean, &NumericGuardConfig::default());
+        let mut dirty = table_with_ages(&[999, -5]);
+        let violations = g.detect(&dirty);
+        assert_eq!(violations.len(), 2);
+        assert_eq!(g.dirty_rows(&dirty), vec![200, 201]);
+        assert!(violations.iter().any(|v| v.value == 999.0));
+
+        let changed = g.clamp_table(&mut dirty);
+        assert_eq!(changed, 2);
+        assert!(g.detect(&dirty).is_empty(), "clamping is idempotent");
+        let fixed = dirty.get(200, 0).unwrap().as_f64().unwrap();
+        assert!(fixed <= g.ranges()[0].hi);
+    }
+
+    #[test]
+    fn low_cardinality_integers_are_skipped() {
+        let mut b = TableBuilder::new(vec!["flag".into()]);
+        for i in 0..100 {
+            b.push_row(vec![Value::Int(i % 3)]).unwrap();
+        }
+        let t = b.finish().unwrap();
+        let g = NumericGuard::fit(&t, &NumericGuardConfig::default());
+        assert!(g.ranges().is_empty(), "categorical integers must not get envelopes");
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 100.0);
+        assert_eq!(quantile(&xs, 0.5), 50.0);
+        assert!((quantile(&xs, 0.995) - 99.5).abs() < 1e-9);
+        assert_eq!(quantile(&[7.0], 0.4), 7.0);
+    }
+
+    #[test]
+    fn in_range_data_is_clean() {
+        let t = table_with_ages(&[]);
+        let g = NumericGuard::fit(&t, &NumericGuardConfig::default());
+        assert!(g.detect(&t).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantiles")]
+    fn invalid_quantiles_rejected() {
+        let t = table_with_ages(&[]);
+        NumericGuard::fit(&t, &NumericGuardConfig { lower_q: 0.9, upper_q: 0.1, ..Default::default() });
+    }
+}

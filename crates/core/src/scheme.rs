@@ -1,0 +1,68 @@
+//! Error-handling schemes (§7).
+
+use guardrail_dsl::Violation;
+use guardrail_table::Row;
+
+/// What to do when an incoming row violates the synthesized constraints.
+///
+/// `Raise`, `Ignore`, and `Coerce` follow the semantics of the pandas
+/// `errors=` convention the paper aligns with; `Rectify` is the paper's
+/// novel scheme: replace the erroneous value with the one the DGP program
+/// assigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorScheme {
+    /// Surface the violation to the caller and stop.
+    Raise,
+    /// Keep the row unchanged (detection only).
+    Ignore,
+    /// Replace each violated dependent cell with `Null`.
+    Coerce,
+    /// Overwrite each violated dependent cell with the constraint's literal.
+    #[default]
+    Rectify,
+}
+
+/// Per-row result of applying a scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowOutcome {
+    /// The row satisfied every constraint.
+    Clean(Row),
+    /// Scheme [`ErrorScheme::Raise`]: violations to surface.
+    Raised(Vec<Violation>),
+    /// Scheme [`ErrorScheme::Ignore`]: the row, untouched, plus what was
+    /// found.
+    Ignored(Row, Vec<Violation>),
+    /// Scheme [`ErrorScheme::Coerce`]: dependent cells nulled.
+    Coerced(Row, Vec<Violation>),
+    /// Scheme [`ErrorScheme::Rectify`]: dependent cells corrected.
+    Rectified(Row, Vec<Violation>),
+}
+
+impl RowOutcome {
+    /// The resulting row, unless the scheme raised.
+    pub fn row(&self) -> Option<&Row> {
+        match self {
+            RowOutcome::Clean(r)
+            | RowOutcome::Ignored(r, _)
+            | RowOutcome::Coerced(r, _)
+            | RowOutcome::Rectified(r, _) => Some(r),
+            RowOutcome::Raised(_) => None,
+        }
+    }
+
+    /// Violations detected on the row (empty when clean).
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            RowOutcome::Clean(_) => &[],
+            RowOutcome::Raised(v)
+            | RowOutcome::Ignored(_, v)
+            | RowOutcome::Coerced(_, v)
+            | RowOutcome::Rectified(_, v) => v,
+        }
+    }
+
+    /// `true` when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, RowOutcome::Clean(_))
+    }
+}

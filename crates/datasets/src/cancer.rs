@@ -1,0 +1,157 @@
+//! The CANCER Bayesian network (bnlearn's discrete-small repository).
+//!
+//! This is the actual source the paper cites for its "Lung Cancer" dataset
+//! (Table 9 of the appendix): five binary variables with the structure
+//!
+//! ```text
+//! Pollution → Cancer ← Smoker
+//!             Cancer → Xray
+//!             Cancer → Dyspnoea
+//! ```
+//!
+//! We reproduce the published CPTs, with a `determinism` knob that sharpens
+//! the symptom CPTs toward the deterministic DGP regime Guardrail targets
+//! (at `1.0` the published probabilities are used unchanged).
+
+use crate::sem::{DiscreteSem, NodeFunction};
+use guardrail_graph::Dag;
+
+/// Node indices of the CANCER network.
+pub mod nodes {
+    /// Pollution (low/high).
+    pub const POLLUTION: usize = 0;
+    /// Smoker (true/false).
+    pub const SMOKER: usize = 1;
+    /// Cancer (true/false).
+    pub const CANCER: usize = 2;
+    /// X-ray result (positive/negative).
+    pub const XRAY: usize = 3;
+    /// Dyspnoea / shortness of breath (true/false).
+    pub const DYSP: usize = 4;
+}
+
+/// Builds the CANCER network as a [`DiscreteSem`].
+///
+/// `sharpen ∈ [0, 1]` interpolates the symptom CPTs between the published
+/// probabilistic tables (`0.0`) and fully deterministic indicators (`1.0`).
+/// The paper's constraint-synthesis experiments need near-deterministic
+/// symptom links; its ML experiments use the stochastic ones.
+pub fn cancer_network(sharpen: f64) -> DiscreteSem {
+    assert!((0.0..=1.0).contains(&sharpen), "sharpen must be in [0,1]");
+    let dag = Dag::from_edges(
+        5,
+        &[
+            (nodes::POLLUTION, nodes::CANCER),
+            (nodes::SMOKER, nodes::CANCER),
+            (nodes::CANCER, nodes::XRAY),
+            (nodes::CANCER, nodes::DYSP),
+        ],
+    )
+    .expect("CANCER structure is acyclic");
+
+    // Published parameters (bnlearn "cancer"):
+    //   P(Pollution = low) = 0.9
+    //   P(Smoker = true)   = 0.3
+    //   P(Cancer | low,  smoker)    = 0.03
+    //   P(Cancer | low,  nonsmoker) = 0.001
+    //   P(Cancer | high, smoker)    = 0.05
+    //   P(Cancer | high, nonsmoker) = 0.02
+    //   P(Xray = positive | cancer) = 0.9,  | no cancer) = 0.2
+    //   P(Dysp = true     | cancer) = 0.65, | no cancer) = 0.3
+    // Encoding: code 0 = "low"/"false"/"negative", code 1 = "high"/"true"/"positive".
+    let cancer_cpt = {
+        // parent order follows node index: Pollution (outer), Smoker (inner).
+        let p = [
+            0.001, // low, nonsmoker
+            0.03,  // low, smoker
+            0.02,  // high, nonsmoker
+            0.05,  // high, smoker
+        ];
+        let mut cpt = Vec::with_capacity(8);
+        for &pc in &p {
+            cpt.push(1.0 - pc);
+            cpt.push(pc);
+        }
+        cpt
+    };
+    let sharpened = |p_true_given_false: f64, p_true_given_true: f64| {
+        let lo = p_true_given_false * (1.0 - sharpen);
+        let hi = p_true_given_true * (1.0 - sharpen) + sharpen;
+        vec![1.0 - lo, lo, 1.0 - hi, hi]
+    };
+
+    DiscreteSem::new(
+        dag,
+        vec![2, 2, 2, 2, 2],
+        vec!["pollution".into(), "smoker".into(), "cancer".into(), "xray".into(), "dysp".into()],
+        vec![
+            NodeFunction::Root { probs: vec![0.9, 0.1] },
+            NodeFunction::Root { probs: vec![0.7, 0.3] },
+            NodeFunction::Cpt { probs: cancer_cpt },
+            NodeFunction::Cpt { probs: sharpened(0.2, 0.9) },
+            NodeFunction::Cpt { probs: sharpened(0.3, 0.65) },
+        ],
+    )
+    .with_labels(nodes::POLLUTION, vec!["low".into(), "high".into()])
+    .with_labels(nodes::SMOKER, vec!["no".into(), "yes".into()])
+    .with_labels(nodes::CANCER, vec!["no".into(), "yes".into()])
+    .with_labels(nodes::XRAY, vec!["negative".into(), "positive".into()])
+    .with_labels(nodes::DYSP, vec!["no".into(), "yes".into()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structure_matches_published_network() {
+        let sem = cancer_network(0.0);
+        let dag = sem.dag();
+        assert!(dag.has_edge(nodes::POLLUTION, nodes::CANCER));
+        assert!(dag.has_edge(nodes::SMOKER, nodes::CANCER));
+        assert!(dag.has_edge(nodes::CANCER, nodes::XRAY));
+        assert!(dag.has_edge(nodes::CANCER, nodes::DYSP));
+        assert_eq!(dag.num_edges(), 4);
+    }
+
+    #[test]
+    fn marginals_match_published_parameters() {
+        let sem = cancer_network(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = sem.sample(20_000, &mut rng);
+        let frac = |col: usize, label: &str| {
+            t.column(col)
+                .unwrap()
+                .iter()
+                .filter(|v| v.as_str() == Some(label))
+                .count() as f64
+                / 20_000.0
+        };
+        assert!((frac(nodes::POLLUTION, "high") - 0.1).abs() < 0.01);
+        assert!((frac(nodes::SMOKER, "yes") - 0.3).abs() < 0.015);
+        // P(cancer) = 0.9(0.7·0.001 + 0.3·0.03) + 0.1(0.7·0.02 + 0.3·0.05) ≈ 0.0116
+        let pc = frac(nodes::CANCER, "yes");
+        assert!((pc - 0.0116).abs() < 0.005, "P(cancer) = {pc}");
+    }
+
+    #[test]
+    fn sharpened_network_is_nearly_deterministic() {
+        let sem = cancer_network(0.97);
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = sem.sample(5000, &mut rng);
+        let mismatch = (0..5000)
+            .filter(|&r| {
+                t.get(r, nodes::XRAY).unwrap().as_str()
+                    != Some(if t.get(r, nodes::CANCER).unwrap().as_str() == Some("yes") {
+                        "positive"
+                    } else {
+                        "negative"
+                    })
+            })
+            .count();
+        // residual noise ≈ 0.03 · 0.2 on the no-cancer branch.
+        assert!(mismatch < 100, "mismatches = {mismatch}");
+    }
+}

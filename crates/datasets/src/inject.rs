@@ -1,0 +1,321 @@
+//! Cell-level error injection with ground-truth tracking.
+//!
+//! §8 of the paper: "we ensure a fair comparison by randomly injecting data
+//! errors into the datasets at a fixed error rate of 1% (or slightly higher
+//! for datasets with fewer rows; capped at 30 errors)". Injection here is
+//! cell-level: a corrupted cell either takes *another valid category* of its
+//! column (a plausible-looking error) or a random garbage string (the
+//! "Berkeley → gibbon" corruption of §2.1).
+
+use guardrail_table::{Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Injection parameters.
+#[derive(Debug, Clone)]
+pub struct InjectConfig {
+    /// Fraction of rows to corrupt (one cell per corrupted row).
+    pub rate: f64,
+    /// Row-count threshold under which the small-dataset rule applies.
+    pub small_threshold: usize,
+    /// Minimum errors for small datasets ("slightly higher" rate).
+    pub small_floor: usize,
+    /// Error cap for small datasets.
+    pub small_cap: usize,
+    /// Exact error count override; bypasses the rate computation.
+    pub count: Option<usize>,
+    /// Columns eligible for corruption (`None` = all).
+    pub columns: Option<Vec<usize>>,
+    /// Probability that a corrupted cell takes another valid category rather
+    /// than a typo or garbage string.
+    pub plausible_prob: f64,
+    /// Probability that a corrupted cell becomes a single-character typo of
+    /// its original value (tried after the plausible roll fails; the
+    /// remainder becomes a garbage string).
+    pub typo_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InjectConfig {
+    fn default() -> Self {
+        Self {
+            rate: 0.01,
+            small_threshold: 3000,
+            small_floor: 10,
+            small_cap: 30,
+            count: None,
+            columns: None,
+            plausible_prob: 0.8,
+            typo_prob: 0.1,
+            seed: 0xBAD,
+        }
+    }
+}
+
+impl InjectConfig {
+    /// Number of errors this config yields on a table with `rows` rows.
+    pub fn error_count(&self, rows: usize) -> usize {
+        if let Some(c) = self.count {
+            return c.min(rows);
+        }
+        let target = (self.rate * rows as f64).ceil() as usize;
+        let target = if rows < self.small_threshold {
+            target.max(self.small_floor).min(self.small_cap)
+        } else {
+            target
+        };
+        target.min(rows)
+    }
+}
+
+/// One injected error, with its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedError {
+    /// Corrupted row.
+    pub row: usize,
+    /// Corrupted column.
+    pub col: usize,
+    /// Original cell value.
+    pub original: Value,
+    /// Value written in its place.
+    pub corrupted: Value,
+}
+
+/// Ground truth of an injection run.
+#[derive(Debug, Clone, Default)]
+pub struct InjectionReport {
+    /// All injected errors.
+    pub errors: Vec<InjectedError>,
+}
+
+impl InjectionReport {
+    /// Sorted, distinct row indices that were corrupted.
+    pub fn dirty_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> = self.errors.iter().map(|e| e.row).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// `true` when the given row holds at least one injected error.
+    pub fn is_dirty(&self, row: usize) -> bool {
+        self.errors.iter().any(|e| e.row == row)
+    }
+}
+
+/// Corrupts `table` in place per `config`, returning the ground truth.
+///
+/// Each corrupted row gets exactly one corrupted cell; rows are drawn without
+/// replacement so `report.dirty_rows().len()` equals the configured count
+/// (up to the number of rows available).
+pub fn inject_errors(table: &mut Table, config: &InjectConfig) -> InjectionReport {
+    let rows = table.num_rows();
+    let cols: Vec<usize> = match &config.columns {
+        Some(c) => c.clone(),
+        None => (0..table.num_columns()).collect(),
+    };
+    assert!(!cols.is_empty(), "no corruptible columns");
+    let count = config.error_count(rows);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Sample distinct victim rows.
+    let mut victims: Vec<usize> = (0..rows).collect();
+    for i in (1..victims.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        victims.swap(i, j);
+    }
+    victims.truncate(count);
+    victims.sort_unstable();
+
+    let mut report = InjectionReport::default();
+    for (k, &row) in victims.iter().enumerate() {
+        let col = cols[rng.gen_range(0..cols.len())];
+        let original = table.get(row, col).expect("cell in range");
+        let corrupted = corrupt_value(table, row, col, k, config, &mut rng);
+        table.set(row, col, corrupted.clone()).expect("cell in range");
+        report.errors.push(InjectedError { row, col, original, corrupted });
+    }
+    report
+}
+
+fn corrupt_value<R: Rng>(
+    table: &Table,
+    row: usize,
+    col: usize,
+    salt: usize,
+    config: &InjectConfig,
+    rng: &mut R,
+) -> Value {
+    let column = table.column(col).expect("column in range");
+    let current = column.code(row);
+    let distinct = column.distinct_count();
+    let roll: f64 = rng.gen();
+    if distinct >= 2 && roll < config.plausible_prob {
+        // Swap in a different valid category.
+        loop {
+            let candidate = rng.gen_range(0..distinct) as u32;
+            if candidate != current {
+                return column.dictionary().decode(candidate);
+            }
+        }
+    }
+    if roll < config.plausible_prob + config.typo_prob {
+        // Single-character typo of the rendered value (Berkeley → Berkeoey).
+        let original = column.dictionary().decode(current).to_string();
+        if let Some(typo) = make_typo(&original, rng) {
+            return Value::from(typo);
+        }
+    }
+    Value::from(format!("__corrupt_{salt}_{}", rng.gen_range(0..u32::MAX)))
+}
+
+/// Mutates one character of `s`; `None` for empty strings.
+fn make_typo<R: Rng>(s: &str, rng: &mut R) -> Option<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return None;
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let replacement = (b'a' + rng.gen_range(0..26u8)) as char;
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => out[pos] = replacement,      // substitute
+        1 => out.insert(pos, replacement), // insert
+        _ => {
+            out.remove(pos); // delete
+            if out.is_empty() {
+                out.push(replacement);
+            }
+        }
+    }
+    let typo: String = out.into_iter().collect();
+    if typo == s {
+        None
+    } else {
+        Some(typo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: usize) -> Table {
+        let mut b = guardrail_table::TableBuilder::new(vec!["a".into(), "b".into()]);
+        for i in 0..rows {
+            b.push_row(vec![Value::Int((i % 5) as i64), Value::from(format!("v{}", i % 3))])
+                .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn error_count_rules() {
+        let c = InjectConfig::default();
+        assert_eq!(c.error_count(48_842), 489); // ceil(1%)
+        assert_eq!(c.error_count(540), 10); // small floor
+        assert_eq!(c.error_count(2900), 29); // 1% within [10, 30]
+        assert_eq!(c.error_count(2999), 30); // capped at 30
+        let exact = InjectConfig { count: Some(7), ..Default::default() };
+        assert_eq!(exact.error_count(1000), 7);
+        assert_eq!(exact.error_count(3), 3); // never exceeds rows
+    }
+
+    #[test]
+    fn injection_matches_ground_truth() {
+        let mut t = table(500);
+        let clean = t.clone();
+        let report = inject_errors(&mut t, &InjectConfig::default());
+        assert_eq!(report.errors.len(), 10);
+        assert_eq!(report.dirty_rows().len(), 10);
+        for e in &report.errors {
+            assert_ne!(e.original, e.corrupted, "corruption must change the value");
+            assert_eq!(t.get(e.row, e.col), Some(e.corrupted.clone()));
+            assert_eq!(clean.get(e.row, e.col), Some(e.original.clone()));
+        }
+        // Untouched rows are identical to the clean table.
+        for row in 0..500 {
+            if !report.is_dirty(row) {
+                for col in 0..2 {
+                    assert_eq!(t.get(row, col), clean.get(row, col));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_restriction_respected() {
+        let mut t = table(400);
+        let config = InjectConfig { columns: Some(vec![1]), ..Default::default() };
+        let report = inject_errors(&mut t, &config);
+        assert!(report.errors.iter().all(|e| e.col == 1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut t1 = table(300);
+        let mut t2 = table(300);
+        let r1 = inject_errors(&mut t1, &InjectConfig::default());
+        let r2 = inject_errors(&mut t2, &InjectConfig::default());
+        assert_eq!(r1.errors, r2.errors);
+        let r3 = inject_errors(&mut table(300), &InjectConfig { seed: 1, ..Default::default() });
+        assert_ne!(r1.errors, r3.errors);
+    }
+
+    #[test]
+    fn garbage_corruption_possible() {
+        let mut t = table(200);
+        let config = InjectConfig {
+            plausible_prob: 0.0,
+            typo_prob: 0.0,
+            count: Some(20),
+            ..Default::default()
+        };
+        let report = inject_errors(&mut t, &config);
+        assert!(report
+            .errors
+            .iter()
+            .all(|e| matches!(&e.corrupted, Value::Str(s) if s.starts_with("__corrupt_"))));
+    }
+
+    #[test]
+    fn typo_corruption_mutates_one_character() {
+        let mut t = table(300);
+        let config = InjectConfig {
+            plausible_prob: 0.0,
+            typo_prob: 1.0,
+            count: Some(40),
+            ..Default::default()
+        };
+        let report = inject_errors(&mut t, &config);
+        for e in &report.errors {
+            let orig = e.original.to_string();
+            let corr = e.corrupted.to_string();
+            assert_ne!(orig, corr);
+            // Edit distance 1 bound: lengths differ by at most one.
+            assert!(
+                (orig.len() as i64 - corr.len() as i64).abs() <= 1,
+                "{orig:?} → {corr:?} is not a single-character typo"
+            );
+        }
+    }
+
+    #[test]
+    fn make_typo_properties() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for s in ["Berkeley", "x", "94704"] {
+            let mut produced = 0;
+            for _ in 0..30 {
+                // None is legal (a substitution may draw the same character);
+                // any produced typo must differ from the original.
+                if let Some(t) = make_typo(s, &mut rng) {
+                    assert_ne!(t, s);
+                    produced += 1;
+                }
+            }
+            assert!(produced > 20, "typos should usually succeed ({produced}/30 for {s:?})");
+        }
+        assert_eq!(make_typo("", &mut rng), None);
+    }
+}

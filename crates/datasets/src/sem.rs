@@ -1,0 +1,285 @@
+//! Discrete structural equation models.
+
+use guardrail_graph::Dag;
+use guardrail_table::{Table, TableBuilder, Value};
+use rand::Rng;
+
+/// How one node's value is generated from its parents (Def. 4.3's `f_X`).
+#[derive(Debug, Clone)]
+pub enum NodeFunction {
+    /// Root node: sampled from a categorical marginal.
+    Root {
+        /// Marginal probabilities, one per category (must sum to ~1).
+        probs: Vec<f64>,
+    },
+    /// Deterministic function of the parents with exogenous flip noise:
+    /// with probability `1 − noise` the value is `table[parent_config]`,
+    /// otherwise a uniformly random category. `noise = 0` gives the pure
+    /// deterministic DGP of §2.1.
+    Deterministic {
+        /// `table[mixed-radix parent configuration] = output code`.
+        table: Vec<u32>,
+        /// Exogenous flip probability in `[0, 1)`.
+        noise: f64,
+    },
+    /// Full conditional probability table: `probs[config * card + code]`.
+    Cpt {
+        /// Row-major CPT over parent configurations.
+        probs: Vec<f64>,
+    },
+}
+
+/// A discrete SEM: ground-truth DAG, per-node cardinalities, and generating
+/// functions. Sampling a SEM yields a [`Table`]; the DAG is the ground truth
+/// that structure learning should recover (up to Markov equivalence).
+#[derive(Debug, Clone)]
+pub struct DiscreteSem {
+    dag: Dag,
+    cards: Vec<usize>,
+    names: Vec<String>,
+    funcs: Vec<NodeFunction>,
+    /// Per-node value labels used when materializing tables; `None` renders
+    /// codes as `v<code>` integers.
+    labels: Vec<Option<Vec<String>>>,
+}
+
+impl DiscreteSem {
+    /// Assembles a SEM, validating shape consistency.
+    ///
+    /// # Panics
+    /// Panics when lengths disagree, a function's table does not match the
+    /// node's parent configuration count, or probabilities are malformed.
+    pub fn new(
+        dag: Dag,
+        cards: Vec<usize>,
+        names: Vec<String>,
+        funcs: Vec<NodeFunction>,
+    ) -> Self {
+        let n = dag.num_nodes();
+        assert_eq!(cards.len(), n);
+        assert_eq!(names.len(), n);
+        assert_eq!(funcs.len(), n);
+        for v in 0..n {
+            let configs: usize = dag.parents(v).iter().map(|p| cards[p]).product();
+            match &funcs[v] {
+                NodeFunction::Root { probs } => {
+                    assert!(dag.parents(v).is_empty(), "root function on non-root node {v}");
+                    assert_eq!(probs.len(), cards[v], "marginal size mismatch at node {v}");
+                }
+                NodeFunction::Deterministic { table, noise } => {
+                    assert!(!dag.parents(v).is_empty(), "deterministic function needs parents");
+                    assert_eq!(table.len(), configs, "table size mismatch at node {v}");
+                    assert!(table.iter().all(|&c| (c as usize) < cards[v]));
+                    assert!((0.0..1.0).contains(noise));
+                }
+                NodeFunction::Cpt { probs } => {
+                    assert_eq!(probs.len(), configs.max(1) * cards[v], "CPT size mismatch at node {v}");
+                }
+            }
+        }
+        let labels = vec![None; n];
+        Self { dag, cards, names, funcs, labels }
+    }
+
+    /// Replaces all attribute names (arity must match).
+    pub fn with_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.names.len(), "one name per attribute");
+        self.names = names;
+        self
+    }
+
+    /// Attaches human-readable value labels to a node.
+    pub fn with_labels(mut self, node: usize, labels: Vec<String>) -> Self {
+        assert_eq!(labels.len(), self.cards[node], "one label per category");
+        self.labels[node] = Some(labels);
+        self
+    }
+
+    /// The ground-truth DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Per-node cardinalities.
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// Attribute names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Nodes whose function is (noisily) deterministic — the relationships a
+    /// constraint synthesizer can hope to discover.
+    pub fn deterministic_nodes(&self) -> Vec<usize> {
+        (0..self.funcs.len())
+            .filter(|&v| matches!(self.funcs[v], NodeFunction::Deterministic { .. }))
+            .collect()
+    }
+
+    /// Samples one value for node `v` given parent codes (mixed-radix packed
+    /// by [`DiscreteSem::config_index`]).
+    fn sample_node<R: Rng>(&self, v: usize, config: usize, rng: &mut R) -> u32 {
+        let card = self.cards[v];
+        match &self.funcs[v] {
+            NodeFunction::Root { probs } => sample_categorical(probs, rng),
+            NodeFunction::Deterministic { table, noise } => {
+                if *noise > 0.0 && rng.gen::<f64>() < *noise {
+                    rng.gen_range(0..card) as u32
+                } else {
+                    table[config]
+                }
+            }
+            NodeFunction::Cpt { probs } => {
+                sample_categorical(&probs[config * card..(config + 1) * card], rng)
+            }
+        }
+    }
+
+    /// Mixed-radix index of the parent configuration of node `v` in `codes`.
+    fn config_index(&self, v: usize, codes: &[u32]) -> usize {
+        let mut idx = 0usize;
+        for p in self.dag.parents(v).iter() {
+            idx = idx * self.cards[p] + codes[p] as usize;
+        }
+        idx
+    }
+
+    /// Samples `rows` rows into a [`Table`].
+    pub fn sample<R: Rng>(&self, rows: usize, rng: &mut R) -> Table {
+        let order = self.dag.topological_order().expect("SEM DAG is acyclic");
+        let n = self.dag.num_nodes();
+        let mut builder = TableBuilder::new(self.names.clone());
+        let mut codes = vec![0u32; n];
+        for _ in 0..rows {
+            for &v in &order {
+                let config = self.config_index(v, &codes);
+                codes[v] = self.sample_node(v, config, rng);
+            }
+            let values = (0..n).map(|v| self.render(v, codes[v])).collect();
+            builder.push_row(values).expect("arity matches");
+        }
+        builder.finish().expect("non-empty schema")
+    }
+
+    /// Renders a code of node `v` as a cell value.
+    pub fn render(&self, v: usize, code: u32) -> Value {
+        match &self.labels[v] {
+            Some(labels) => Value::from(labels[code as usize].clone()),
+            None => Value::Int(code as i64),
+        }
+    }
+}
+
+fn sample_categorical<R: Rng>(probs: &[f64], rng: &mut R) -> u32 {
+    let total: f64 = probs.iter().sum();
+    debug_assert!((total - 1.0).abs() < 1e-6, "probabilities must sum to 1, got {total}");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &p) in probs.iter().enumerate() {
+        x -= p;
+        if x <= 0.0 {
+            return i as u32;
+        }
+    }
+    (probs.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// zip → city, deterministic, 4 zips → 2 cities.
+    fn zip_city_sem(noise: f64) -> DiscreteSem {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        DiscreteSem::new(
+            dag,
+            vec![4, 2],
+            vec!["zip".into(), "city".into()],
+            vec![
+                NodeFunction::Root { probs: vec![0.25; 4] },
+                NodeFunction::Deterministic { table: vec![0, 0, 1, 1], noise },
+            ],
+        )
+    }
+
+    #[test]
+    fn deterministic_sampling_obeys_table() {
+        let sem = zip_city_sem(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = sem.sample(500, &mut rng);
+        assert_eq!(t.num_rows(), 500);
+        for row in 0..500 {
+            let zip = t.get(row, 0).unwrap().as_i64().unwrap();
+            let city = t.get(row, 1).unwrap().as_i64().unwrap();
+            assert_eq!(city, if zip < 2 { 0 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn noise_rate_is_respected() {
+        let sem = zip_city_sem(0.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = sem.sample(5000, &mut rng);
+        let mismatches = (0..5000)
+            .filter(|&row| {
+                let zip = t.get(row, 0).unwrap().as_i64().unwrap();
+                let city = t.get(row, 1).unwrap().as_i64().unwrap();
+                city != if zip < 2 { 0 } else { 1 }
+            })
+            .count();
+        // flip noise 0.2 lands on the wrong value half the time (card 2).
+        let rate = mismatches as f64 / 5000.0;
+        assert!((0.05..0.15).contains(&rate), "observed mismatch rate {rate}");
+    }
+
+    #[test]
+    fn labels_render_as_strings() {
+        let sem = zip_city_sem(0.0)
+            .with_labels(1, vec!["Berkeley".into(), "Portland".into()]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = sem.sample(10, &mut rng);
+        let v = t.get(0, 1).unwrap();
+        assert!(matches!(v, Value::Str(_)));
+    }
+
+    #[test]
+    fn cpt_sampling_matches_marginal() {
+        // Single root with skewed marginal.
+        let dag = Dag::new(1);
+        let sem = DiscreteSem::new(
+            dag,
+            vec![2],
+            vec!["x".into()],
+            vec![NodeFunction::Root { probs: vec![0.9, 0.1] }],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = sem.sample(10_000, &mut rng);
+        let ones = t.column(0).unwrap().iter().filter(|v| v.as_i64() == Some(1)).count();
+        let rate = ones as f64 / 10_000.0;
+        assert!((0.08..0.12).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_nodes_listed() {
+        let sem = zip_city_sem(0.01);
+        assert_eq!(sem.deterministic_nodes(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size mismatch")]
+    fn shape_validation() {
+        let dag = Dag::from_edges(2, &[(0, 1)]).unwrap();
+        DiscreteSem::new(
+            dag,
+            vec![4, 2],
+            vec!["a".into(), "b".into()],
+            vec![
+                NodeFunction::Root { probs: vec![0.25; 4] },
+                NodeFunction::Deterministic { table: vec![0, 1], noise: 0.0 },
+            ],
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! The DSL interpreter: denotational semantics over rows and tables.
+//!
+//! Two evaluation paths are provided:
+//!
+//! * **Table-bound (code-level)** — [`CompiledProgram`] binds a program to a
+//!   concrete [`Table`], resolving attribute names to column indices and
+//!   literals to dictionary codes once; condition matching then is integer
+//!   comparison. This is the path the synthesizer and the batch error
+//!   detector use.
+//! * **Row-level (value-level)** — [`Program::execute_row`] /
+//!   [`Program::check_row`] interpret a program over a single owned
+//!   [`Row`] by name, used by the SQL executor's per-row guardrail hook.
+
+use crate::ast::{Branch, Program, Statement};
+use crate::error::DslError;
+use guardrail_table::{Code, Row, Table, Value, NULL_CODE};
+
+/// One detected constraint violation: executing branch `branch` of statement
+/// `statement` on row `row` would assign `expected`, but the row holds
+/// `actual` (Eqn. 1's `⟦p⟧t ≠ t`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Row index in the checked table (0 for single-row checks).
+    pub row: usize,
+    /// Statement index within the program.
+    pub statement: usize,
+    /// Branch index within the statement.
+    pub branch: usize,
+    /// The dependent attribute.
+    pub attribute: String,
+    /// Value the DGP program assigns.
+    pub expected: Value,
+    /// Value found in the data.
+    pub actual: Value,
+}
+
+/// A program compiled against one table's schema and dictionaries.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    statements: Vec<CompiledStatement>,
+}
+
+/// A compiled statement.
+#[derive(Debug, Clone)]
+pub struct CompiledStatement {
+    /// Index of this statement in the source program.
+    pub statement_index: usize,
+    /// Column index of the dependent attribute.
+    pub on_col: usize,
+    /// Dependent attribute name (for reporting).
+    pub on_name: String,
+    branches: Vec<CompiledBranch>,
+}
+
+/// A compiled branch.
+#[derive(Debug, Clone)]
+pub struct CompiledBranch {
+    /// Index of this branch in the source statement.
+    pub branch_index: usize,
+    /// `(column, code)` conjuncts; `code == None` means the literal does not
+    /// occur in that column's dictionary, so the condition matches no row.
+    conjuncts: Vec<(usize, Option<Code>)>,
+    /// The assigned literal.
+    pub literal: Value,
+    /// Dictionary code of the literal in the dependent column, if interned.
+    pub literal_code: Option<Code>,
+}
+
+impl CompiledBranch {
+    /// `true` when the branch's condition holds on row `row` of `table`.
+    pub fn matches(&self, table: &Table, row: usize) -> bool {
+        self.conjuncts.iter().all(|&(col, code)| match code {
+            Some(c) => table.column(col).expect("bound column").code(row) == c,
+            None => false,
+        })
+    }
+
+    /// Row indices of `D^b`: rows satisfying the branch condition.
+    pub fn matching_rows(&self, table: &Table) -> Vec<usize> {
+        (0..table.num_rows()).filter(|&r| self.matches(table, r)).collect()
+    }
+}
+
+impl CompiledProgram {
+    /// Compiles `program` against `table`, resolving names and literals.
+    pub fn compile(program: &Program, table: &Table) -> Result<Self, DslError> {
+        program.validate()?;
+        let schema = table.schema();
+        let mut statements = Vec::with_capacity(program.statements.len());
+        for (si, s) in program.statements.iter().enumerate() {
+            let on_col = schema
+                .index_of(&s.on)
+                .ok_or_else(|| DslError::UnknownAttribute(s.on.clone()))?;
+            let mut branches = Vec::with_capacity(s.branches.len());
+            for (bi, b) in s.branches.iter().enumerate() {
+                let mut conjuncts = Vec::with_capacity(b.condition.conjuncts().len());
+                for (attr, lit) in b.condition.conjuncts() {
+                    let col = schema
+                        .index_of(attr)
+                        .ok_or_else(|| DslError::UnknownAttribute(attr.clone()))?;
+                    let code = table
+                        .column(col)
+                        .expect("schema-resolved column")
+                        .dictionary()
+                        .lookup(lit);
+                    conjuncts.push((col, code));
+                }
+                let literal_code =
+                    table.column(on_col).expect("bound column").dictionary().lookup(&b.literal);
+                branches.push(CompiledBranch {
+                    branch_index: bi,
+                    conjuncts,
+                    literal: b.literal.clone(),
+                    literal_code,
+                });
+            }
+            statements.push(CompiledStatement {
+                statement_index: si,
+                on_col,
+                on_name: s.on.clone(),
+                branches,
+            });
+        }
+        Ok(Self { statements })
+    }
+
+    /// Compiled statements.
+    pub fn statements(&self) -> &[CompiledStatement] {
+        &self.statements
+    }
+
+    /// All violations across the table.
+    pub fn check_table(&self, table: &Table) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for row in 0..table.num_rows() {
+            self.check_row_into(table, row, &mut out);
+        }
+        out
+    }
+
+    /// Violations on a single row of the bound table.
+    pub fn check_row(&self, table: &Table, row: usize) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.check_row_into(table, row, &mut out);
+        out
+    }
+
+    fn check_row_into(&self, table: &Table, row: usize, out: &mut Vec<Violation>) {
+        for s in &self.statements {
+            let actual_code = table.column(s.on_col).expect("bound column").code(row);
+            for b in &s.branches {
+                if !b.matches(table, row) {
+                    continue;
+                }
+                let violated = match b.literal_code {
+                    Some(code) => actual_code != code,
+                    // Literal never interned in this table: every matching
+                    // row disagrees with the assignment.
+                    None => true,
+                };
+                if violated {
+                    out.push(Violation {
+                        row,
+                        statement: s.statement_index,
+                        branch: b.branch_index,
+                        attribute: s.on_name.clone(),
+                        expected: b.literal.clone(),
+                        actual: table
+                            .column(s.on_col)
+                            .expect("bound column")
+                            .dictionary()
+                            .decode(actual_code),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Distinct row indices with at least one violation.
+    pub fn violating_rows(&self, table: &Table) -> Vec<usize> {
+        let mut rows: Vec<usize> = self.check_table(table).into_iter().map(|v| v.row).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Executes the program over the whole table **in place**: every matching
+    /// branch writes its literal into the dependent cell (the paper's
+    /// `rectify` scheme). Returns the number of cells changed.
+    pub fn rectify_table(&self, table: &mut Table) -> usize {
+        let mut changed = 0;
+        for s in &self.statements {
+            // Intern the literals once per statement so new values (absent
+            // from this split's dictionary) can be written.
+            let mut branch_codes: Vec<Option<Code>> = Vec::with_capacity(s.branches.len());
+            for b in &s.branches {
+                let col = table.column_mut(s.on_col).expect("bound column");
+                branch_codes.push(Some(col.dictionary_mut().encode(b.literal.clone())));
+            }
+            for row in 0..table.num_rows() {
+                for (b, &code) in s.branches.iter().zip(&branch_codes) {
+                    if b.matches(table, row) {
+                        let code = code.expect("interned above");
+                        let col = table.column_mut(s.on_col).expect("bound column");
+                        if col.code(row) != code {
+                            col.set_code(row, code);
+                            changed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Replaces the dependent cell of every violating row with `Null`
+    /// (the paper's `coerce` scheme). Returns the number of cells coerced.
+    pub fn coerce_table(&self, table: &mut Table) -> usize {
+        let violations = self.check_table(table);
+        let mut coerced = 0;
+        for v in violations {
+            let s = &self.statements[v.statement];
+            let col = table.column_mut(s.on_col).expect("bound column");
+            if col.code(v.row) != NULL_CODE {
+                col.set_code(v.row, NULL_CODE);
+                coerced += 1;
+            }
+        }
+        coerced
+    }
+}
+
+impl Program {
+    /// Compiles this program against a table (convenience wrapper around
+    /// [`CompiledProgram::compile`]).
+    pub fn compile_for(&self, table: &Table) -> Result<CompiledProgram, DslError> {
+        CompiledProgram::compile(self, table)
+    }
+
+    /// Denotational execution on an owned row: `⟦p⟧t = t'`. Branches whose
+    /// conditions match assign their literal; everything else is untouched.
+    pub fn execute_row(&self, row: &Row) -> Row {
+        let mut out = row.clone();
+        for s in &self.statements {
+            for b in &s.branches {
+                if condition_holds(b, &out) {
+                    out.set_by_name(&b.target, b.literal.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Violations of this program on a single row (value-level; used by the
+    /// per-row guardrail at query time). The reported `row` index is 0.
+    pub fn check_row(&self, row: &Row) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (si, s) in self.statements.iter().enumerate() {
+            for (bi, b) in s.branches.iter().enumerate() {
+                if condition_holds(b, row) {
+                    let actual = row.get_by_name(&s.on).cloned().unwrap_or(Value::Null);
+                    if actual != b.literal {
+                        out.push(Violation {
+                            row: 0,
+                            statement: si,
+                            branch: bi,
+                            attribute: s.on.clone(),
+                            expected: b.literal.clone(),
+                            actual,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn condition_holds(branch: &Branch, row: &Row) -> bool {
+    branch
+        .condition
+        .conjuncts()
+        .iter()
+        .all(|(attr, lit)| row.get_by_name(attr).map(|v| v == lit).unwrap_or(false))
+}
+
+/// Row indices of `D^s` for a statement: the union of its branches' matching
+/// rows (value-level convenience used by the semantics module).
+pub fn statement_rows(statement: &Statement, table: &Table) -> Vec<usize> {
+    let program = Program { statements: vec![statement.clone()] };
+    let compiled = match CompiledProgram::compile(&program, table) {
+        Ok(c) => c,
+        Err(_) => return Vec::new(),
+    };
+    let mut rows: Vec<usize> = compiled.statements()[0]
+        .branches()
+        .iter()
+        .flat_map(|b| b.matching_rows(table))
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+impl CompiledStatement {
+    /// The compiled branches.
+    pub fn branches(&self) -> &[CompiledBranch] {
+        &self.branches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn zip_table() -> Table {
+        Table::from_csv_str(
+            "zip,city\n94704,Berkeley\n94704,gibbon\n97201,Portland\n10001,NYC\n",
+        )
+        .unwrap()
+    }
+
+    fn zip_program() -> Program {
+        parse_program(
+            r#"GIVEN zip ON city HAVING
+                   IF zip = 94704 THEN city <- "Berkeley";
+                   IF zip = 97201 THEN city <- "Portland";"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_paper_example_error() {
+        let table = zip_table();
+        let compiled = zip_program().compile_for(&table).unwrap();
+        let violations = compiled.check_table(&table);
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(v.row, 1);
+        assert_eq!(v.attribute, "city");
+        assert_eq!(v.expected, Value::from("Berkeley"));
+        assert_eq!(v.actual, Value::from("gibbon"));
+        assert_eq!(compiled.violating_rows(&table), vec![1]);
+    }
+
+    #[test]
+    fn uncovered_rows_are_not_flagged() {
+        let table = zip_table();
+        let compiled = zip_program().compile_for(&table).unwrap();
+        // Row 3 (zip 10001) matches no branch — never a violation.
+        assert!(compiled.check_row(&table, 3).is_empty());
+    }
+
+    #[test]
+    fn rectify_fixes_and_is_idempotent() {
+        let mut table = zip_table();
+        let compiled = zip_program().compile_for(&table).unwrap();
+        let changed = compiled.rectify_table(&mut table);
+        assert_eq!(changed, 1);
+        assert_eq!(table.get(1, 1), Some(Value::from("Berkeley")));
+        // Idempotent: second run changes nothing.
+        let compiled = zip_program().compile_for(&table).unwrap();
+        assert_eq!(compiled.rectify_table(&mut table), 0);
+        assert!(compiled.check_table(&table).is_empty());
+    }
+
+    #[test]
+    fn rectify_interns_unseen_literal() {
+        let mut table = Table::from_csv_str("zip,city\n94704,gibbon\n").unwrap();
+        let compiled = zip_program().compile_for(&table).unwrap();
+        assert_eq!(compiled.rectify_table(&mut table), 1);
+        assert_eq!(table.get(0, 1), Some(Value::from("Berkeley")));
+    }
+
+    #[test]
+    fn coerce_nulls_bad_cells() {
+        let mut table = zip_table();
+        let compiled = zip_program().compile_for(&table).unwrap();
+        assert_eq!(compiled.coerce_table(&mut table), 1);
+        assert_eq!(table.get(1, 1), Some(Value::Null));
+        // clean rows untouched
+        assert_eq!(table.get(0, 1), Some(Value::from("Berkeley")));
+    }
+
+    #[test]
+    fn row_level_execute_matches_eqn1() {
+        let program = zip_program();
+        let table = zip_table();
+        let bad = table.row_owned(1).unwrap();
+        let fixed = program.execute_row(&bad);
+        assert_eq!(fixed.get_by_name("city"), Some(&Value::from("Berkeley")));
+        assert_ne!(&fixed, &bad, "⟦p⟧t ≠ t flags the error");
+        let good = table.row_owned(0).unwrap();
+        assert_eq!(program.execute_row(&good), good);
+    }
+
+    #[test]
+    fn row_level_check() {
+        let program = zip_program();
+        let table = zip_table();
+        assert_eq!(program.check_row(&table.row_owned(1).unwrap()).len(), 1);
+        assert!(program.check_row(&table.row_owned(0).unwrap()).is_empty());
+        assert!(program.check_row(&table.row_owned(3).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn literal_absent_from_dictionary_matches_nothing() {
+        let table = Table::from_csv_str("zip,city\n11111,Nowhere\n").unwrap();
+        let compiled = zip_program().compile_for(&table).unwrap();
+        assert!(compiled.check_table(&table).is_empty());
+    }
+
+    #[test]
+    fn expected_literal_absent_flags_matching_rows() {
+        // Condition matches but "Berkeley" is not in this table's dictionary.
+        let table = Table::from_csv_str("zip,city\n94704,Oakland\n").unwrap();
+        let compiled = zip_program().compile_for(&table).unwrap();
+        let violations = compiled.check_table(&table);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].expected, Value::from("Berkeley"));
+    }
+
+    #[test]
+    fn unknown_attribute_fails_compile() {
+        let table = Table::from_csv_str("a,b\n1,2\n").unwrap();
+        let err = zip_program().compile_for(&table).unwrap_err();
+        assert!(matches!(err, DslError::UnknownAttribute(_)));
+    }
+
+    #[test]
+    fn later_statements_see_earlier_assignments() {
+        // Statement order matters in execute_row: city is fixed first, then
+        // state derives from the corrected city.
+        let program = parse_program(
+            r#"GIVEN zip ON city HAVING
+                   IF zip = 94704 THEN city <- "Berkeley";
+               GIVEN city ON state HAVING
+                   IF city = "Berkeley" THEN state <- "CA";"#,
+        )
+        .unwrap();
+        let table = Table::from_csv_str("zip,city,state\n94704,gibbon,XX\n").unwrap();
+        let fixed = program.execute_row(&table.row_owned(0).unwrap());
+        assert_eq!(fixed.get_by_name("city"), Some(&Value::from("Berkeley")));
+        assert_eq!(fixed.get_by_name("state"), Some(&Value::from("CA")));
+    }
+}

@@ -1,0 +1,160 @@
+//! Chickering's compelled-edge labeling.
+//!
+//! An independent construction of a DAG's CPDAG (Chickering, *A
+//! transformational characterization of equivalent Bayesian network
+//! structures*, UAI 1995): label every edge *compelled* (directed the same
+//! way in every member of the equivalence class) or *reversible*, by a
+//! single pass over the edges in a canonical order. The pipeline uses
+//! [`crate::dag::Dag::to_cpdag`] (v-structures + Meek closure); this module
+//! exists as a correctness cross-check — the two constructions must agree on
+//! every DAG, which the property suite asserts.
+
+use crate::dag::Dag;
+use crate::pdag::Pdag;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Label {
+    Unknown,
+    Compelled,
+    Reversible,
+}
+
+/// Computes the CPDAG of `dag` via compelled-edge labeling.
+pub fn cpdag_by_compelled_edges(dag: &Dag) -> Pdag {
+    let order = edge_order(dag);
+    let mut label: std::collections::HashMap<(usize, usize), Label> =
+        order.iter().map(|&e| (e, Label::Unknown)).collect();
+
+    for &(x, y) in &order {
+        if label[&(x, y)] != Label::Unknown {
+            continue;
+        }
+        let mut knocked_out = false;
+        // For every w → x compelled:
+        let compelled_into_x: Vec<usize> = dag
+            .parents(x)
+            .iter()
+            .filter(|&w| label.get(&(w, x)) == Some(&Label::Compelled))
+            .collect();
+        for w in compelled_into_x {
+            if !dag.has_edge(w, y) {
+                // w is not a parent of y: x → y and every edge into y become
+                // compelled.
+                for p in dag.parents(y).iter() {
+                    label.insert((p, y), Label::Compelled);
+                }
+                knocked_out = true;
+                break;
+            } else {
+                label.insert((w, y), Label::Compelled);
+            }
+        }
+        if knocked_out {
+            continue;
+        }
+        // If some z → y with z ∉ {x} ∪ parents(x): compelled; else reversible.
+        let external = dag.parents(y).iter().any(|z| z != x && !dag.has_edge(z, x));
+        let verdict = if external { Label::Compelled } else { Label::Reversible };
+        for p in dag.parents(y).iter() {
+            if label[&(p, y)] == Label::Unknown {
+                label.insert((p, y), verdict);
+            }
+        }
+    }
+
+    let mut pdag = Pdag::new(dag.num_nodes());
+    for ((u, v), l) in label {
+        match l {
+            Label::Compelled => pdag.add_directed(u, v),
+            Label::Reversible | Label::Unknown => pdag.add_undirected(u, v),
+        }
+    }
+    pdag
+}
+
+/// Chickering's canonical edge order: edges `(x, y)` sorted by `y`'s
+/// topological position ascending, then `x`'s position descending.
+fn edge_order(dag: &Dag) -> Vec<(usize, usize)> {
+    let topo = dag.topological_order().expect("input is a DAG");
+    let mut pos = vec![0usize; dag.num_nodes()];
+    for (i, &v) in topo.iter().enumerate() {
+        pos[v] = i;
+    }
+    let mut edges = dag.edges();
+    edges.sort_by(|&(x1, y1), &(x2, y2)| {
+        pos[y1].cmp(&pos[y2]).then(pos[x2].cmp(&pos[x1]))
+    });
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(dag: &Dag) {
+        assert_eq!(
+            cpdag_by_compelled_edges(dag),
+            dag.to_cpdag(),
+            "constructions disagree on {:?}",
+            dag.edges()
+        );
+    }
+
+    #[test]
+    fn agrees_on_canonical_shapes() {
+        check(&Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap()); // chain
+        check(&Dag::from_edges(3, &[(0, 2), (1, 2)]).unwrap()); // collider
+        check(&Dag::from_edges(3, &[(0, 1), (0, 2)]).unwrap()); // fork
+        check(&Dag::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()); // triangle
+        check(&Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()); // diamond
+        check(&Dag::from_edges(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap()); // cancer
+        check(&Dag::new(4)); // edgeless
+    }
+
+    #[test]
+    fn agrees_on_exhaustive_small_dags() {
+        // All DAGs on 4 nodes with edges oriented low → high (every DAG is
+        // isomorphic to one of these up to relabeling, and both algorithms
+        // are label-agnostic in the same way).
+        let all_edges: Vec<(usize, usize)> =
+            (0..4).flat_map(|u| ((u + 1)..4).map(move |v| (u, v))).collect();
+        for mask in 0u32..(1 << all_edges.len()) {
+            let edges: Vec<(usize, usize)> = all_edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            check(&Dag::from_edges(4, &edges).unwrap());
+        }
+    }
+
+    #[test]
+    fn compelled_set_matches_mec_semantics() {
+        // An edge is reversible iff *some* member of the MEC orients it the
+        // other way (possibly together with other reorientations — a single
+        // flip is not always enough). Verify the labeling against the
+        // enumerated equivalence class.
+        use crate::enumerate::{enumerate_extensions, EnumerateLimit};
+        for edges in [
+            vec![(0usize, 1usize), (1, 2), (1, 3), (2, 3)],
+            vec![(0, 1), (1, 2), (2, 3)],
+            vec![(0, 2), (1, 2), (2, 3)],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        ] {
+            let dag = Dag::from_edges(4, &edges).unwrap();
+            let cpdag = cpdag_by_compelled_edges(&dag);
+            let (members, truncated) =
+                enumerate_extensions(&dag.to_cpdag(), EnumerateLimit::default());
+            assert!(!truncated);
+            for (u, v) in dag.edges() {
+                let some_member_reverses = members.iter().any(|m| m.has_edge(v, u));
+                assert_eq!(
+                    cpdag.has_undirected(u, v),
+                    some_member_reverses,
+                    "edge ({u},{v}) labeling disagrees with MEC membership on {edges:?}"
+                );
+            }
+        }
+    }
+}

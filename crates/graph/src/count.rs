@@ -1,0 +1,308 @@
+//! Counting acyclic orientations of an undirected skeleton.
+//!
+//! Table 7 of the paper contrasts the number of DAGs in the learned MEC with
+//! the raw orientation search space an enumeration procedure would face
+//! without MEC constraints: all **acyclic orientations of the skeleton**.
+//! By Stanley's theorem that count equals `|χ_G(−1)|`, which satisfies the
+//! deletion–contraction recurrence
+//!
+//! ```text
+//! a(G) = a(G − e) + a(G / e)
+//! ```
+//!
+//! for any edge `e`, with `a(edgeless) = 1`. We accelerate the recurrence
+//! with connected-component factoring and a bridge shortcut
+//! (`a(G) = 2 · a(G − e)` when `e` is a bridge), which makes sparse,
+//! tree-like attribute skeletons (the common case) effectively linear-time.
+//! A step budget guards against dense pathological graphs; when exceeded we
+//! return the `2^E` upper bound and flag it.
+
+use std::collections::HashMap;
+
+/// Result of an orientation count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrientationCount {
+    /// The count (exact, or the `2^E` upper bound when `exact == false`).
+    /// Saturates at `f64` precision for astronomically large counts.
+    pub count: f64,
+    /// Whether the count is exact.
+    pub exact: bool,
+}
+
+/// Counts the acyclic orientations of the undirected graph given by `edges`
+/// over `n` nodes, within `budget` deletion–contraction steps.
+pub fn acyclic_orientations(n: usize, edges: &[(usize, usize)], budget: usize) -> OrientationCount {
+    // Normalize to a simple graph: parallel edges impose the same ordering
+    // constraint and self loops kill all orientations.
+    let mut simple: Vec<(u8, u8)> = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge out of range");
+        assert!(n <= 255, "count supports up to 255 nodes");
+        if u == v {
+            return OrientationCount { count: 0.0, exact: true };
+        }
+        simple.push((u.min(v) as u8, u.max(v) as u8));
+    }
+    simple.sort_unstable();
+    simple.dedup();
+
+    let mut memo = HashMap::new();
+    let mut steps = 0usize;
+    match count_rec(&simple, &mut memo, &mut steps, budget) {
+        Some(c) => OrientationCount { count: c, exact: true },
+        None => OrientationCount { count: 2f64.powi(simple.len() as i32), exact: false },
+    }
+}
+
+/// Core recurrence on a canonical (sorted, deduped) edge list. Node identity
+/// only matters through the edge structure, so the edge list itself is the
+/// memo key after relabeling to first-occurrence order.
+fn count_rec(
+    edges: &[(u8, u8)],
+    memo: &mut HashMap<Vec<(u8, u8)>, f64>,
+    steps: &mut usize,
+    budget: usize,
+) -> Option<f64> {
+    if edges.is_empty() {
+        return Some(1.0);
+    }
+    *steps += 1;
+    if *steps > budget {
+        return None;
+    }
+
+    // Factor over connected components: a(G) = Π a(component).
+    let components = split_components(edges);
+    if components.len() > 1 {
+        let mut product = 1.0;
+        for comp in components {
+            product *= count_rec(&comp, memo, steps, budget)?;
+        }
+        return Some(product);
+    }
+
+    // Trees (|E| = |V| - 1 for a connected graph) orient freely: 2^E.
+    let nodes = node_count(edges);
+    if edges.len() == nodes - 1 {
+        return Some(2f64.powi(edges.len() as i32));
+    }
+    // A single cycle: 2^E - 2.
+    if edges.len() == nodes && edges.iter().all(|_| true) && is_cycle(edges) {
+        return Some(2f64.powi(edges.len() as i32) - 2.0);
+    }
+
+    let key = canonical(edges);
+    if let Some(&c) = memo.get(&key) {
+        return Some(c);
+    }
+
+    // Pick the last edge (deterministic) and apply deletion–contraction.
+    let e = *edges.last().unwrap();
+    let deleted: Vec<(u8, u8)> = edges[..edges.len() - 1].to_vec();
+    let contracted = contract(&deleted, e);
+    let result = count_rec(&deleted, memo, steps, budget)?
+        + count_rec(&contracted, memo, steps, budget)?;
+    memo.insert(key, result);
+    Some(result)
+}
+
+fn node_count(edges: &[(u8, u8)]) -> usize {
+    let mut seen = [false; 256];
+    let mut count = 0;
+    for &(u, v) in edges {
+        for x in [u, v] {
+            if !seen[x as usize] {
+                seen[x as usize] = true;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn is_cycle(edges: &[(u8, u8)]) -> bool {
+    let mut degree = [0u8; 256];
+    for &(u, v) in edges {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    edges.iter().all(|&(u, v)| degree[u as usize] == 2 && degree[v as usize] == 2)
+}
+
+/// Splits the edge list into connected components (by edges).
+fn split_components(edges: &[(u8, u8)]) -> Vec<Vec<(u8, u8)>> {
+    let mut parent: HashMap<u8, u8> = HashMap::new();
+    fn find(parent: &mut HashMap<u8, u8>, x: u8) -> u8 {
+        let p = *parent.entry(x).or_insert(x);
+        if p == x {
+            x
+        } else {
+            let root = find(parent, p);
+            parent.insert(x, root);
+            root
+        }
+    }
+    for &(u, v) in edges {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            parent.insert(ru, rv);
+        }
+    }
+    let mut groups: HashMap<u8, Vec<(u8, u8)>> = HashMap::new();
+    for &(u, v) in edges {
+        let r = find(&mut parent, u);
+        groups.entry(r).or_default().push((u, v));
+    }
+    let mut out: Vec<Vec<(u8, u8)>> = groups.into_values().collect();
+    out.sort(); // deterministic
+    out
+}
+
+/// Contracts edge `(a, b)` in `edges`: relabels `b` to `a`, drops loops,
+/// dedupes parallels.
+fn contract(edges: &[(u8, u8)], (a, b): (u8, u8)) -> Vec<(u8, u8)> {
+    let mut out: Vec<(u8, u8)> = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        let u = if u == b { a } else { u };
+        let v = if v == b { a } else { v };
+        if u != v {
+            out.push((u.min(v), u.max(v)));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Relabels nodes to first-occurrence order so isomorphic-by-relabeling edge
+/// lists share a memo entry.
+fn canonical(edges: &[(u8, u8)]) -> Vec<(u8, u8)> {
+    let mut map: HashMap<u8, u8> = HashMap::new();
+    let mut next = 0u8;
+    let mut out = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        let cu = *map.entry(u).or_insert_with(|| {
+            let c = next;
+            next += 1;
+            c
+        });
+        let cv = *map.entry(v).or_insert_with(|| {
+            let c = next;
+            next += 1;
+            c
+        });
+        out.push((cu.min(cv), cu.max(cv)));
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: usize = 1_000_000;
+
+    fn exact(n: usize, edges: &[(usize, usize)]) -> f64 {
+        let r = acyclic_orientations(n, edges, BUDGET);
+        assert!(r.exact);
+        r.count
+    }
+
+    /// Brute-force count by trying all 2^E orientations.
+    fn brute_force(n: usize, edges: &[(usize, usize)]) -> f64 {
+        let m = edges.len();
+        let mut count = 0u64;
+        'outer: for mask in 0u64..(1 << m) {
+            let mut dag = crate::dag::Dag::new(n);
+            for (i, &(u, v)) in edges.iter().enumerate() {
+                let (a, b) = if mask >> i & 1 == 0 { (u, v) } else { (v, u) };
+                dag.add_edge_unchecked(a, b);
+            }
+            if dag.topological_order().is_none() {
+                continue 'outer;
+            }
+            count += 1;
+        }
+        count as f64
+    }
+
+    #[test]
+    fn known_small_graphs() {
+        // Single edge: 2 orientations.
+        assert_eq!(exact(2, &[(0, 1)]), 2.0);
+        // Path of 3: tree, 2^2 = 4.
+        assert_eq!(exact(3, &[(0, 1), (1, 2)]), 4.0);
+        // Triangle: 3! = 6.
+        assert_eq!(exact(3, &[(0, 1), (1, 2), (0, 2)]), 6.0);
+        // 4-cycle: 2^4 - 2 = 14.
+        assert_eq!(exact(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]), 14.0);
+        // K4: 4! = 24.
+        let k4: Vec<(usize, usize)> =
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        assert_eq!(exact(4, &k4), 24.0);
+        // Edgeless: 1.
+        assert_eq!(exact(5, &[]), 1.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_shapes() {
+        let shapes: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]),
+            (6, vec![(0, 1), (0, 2), (1, 2), (3, 4), (4, 5)]),
+            (4, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 1)]),
+            (7, vec![(0, 1), (1, 2), (2, 3), (0, 3), (3, 4), (4, 5), (5, 6), (6, 4)]),
+        ];
+        for (n, edges) in shapes {
+            assert_eq!(exact(n, &edges), brute_force(n, &edges), "graph {edges:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_edges_and_loops() {
+        // Parallel edges count once.
+        assert_eq!(exact(2, &[(0, 1), (1, 0)]), 2.0);
+        // A self loop admits no acyclic orientation.
+        let r = acyclic_orientations(2, &[(0, 0)], BUDGET);
+        assert_eq!(r.count, 0.0);
+    }
+
+    #[test]
+    fn components_multiply() {
+        // Two disjoint edges: 2 * 2.
+        assert_eq!(exact(4, &[(0, 1), (2, 3)]), 4.0);
+        // Triangle + path: 6 * 4.
+        assert_eq!(exact(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]), 24.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back() {
+        // Dense K8 with a 1-step budget.
+        let mut edges = Vec::new();
+        for u in 0..8 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+            }
+        }
+        let r = acyclic_orientations(8, &edges, 1);
+        assert!(!r.exact);
+        assert_eq!(r.count, 2f64.powi(28));
+        // With budget, K8 = 8! = 40320.
+        let r = acyclic_orientations(8, &edges, BUDGET);
+        assert!(r.exact);
+        assert_eq!(r.count, 40_320.0);
+    }
+
+    #[test]
+    fn large_sparse_graph_is_fast() {
+        // 40-node tree plus a few chords — the shape of a real skeleton.
+        let mut edges: Vec<(usize, usize)> = (1..40).map(|v| (v / 2, v)).collect();
+        edges.push((3, 17));
+        edges.push((5, 29));
+        edges.push((10, 22));
+        let r = acyclic_orientations(40, &edges, BUDGET);
+        assert!(r.exact);
+        assert!(r.count > 1e11, "count = {}", r.count);
+    }
+}

@@ -1,0 +1,182 @@
+//! d-separation queries on DAGs.
+
+use crate::dag::Dag;
+use crate::nodeset::NodeSet;
+
+/// Tests whether `x` and `y` are d-separated by the conditioning set `z` in
+/// `dag`.
+///
+/// Implemented with the reachability formulation of the Bayes-ball algorithm:
+/// we search over *directed* node visits `(node, direction)` where direction
+/// records whether we entered the node along an incoming or outgoing edge,
+/// applying the standard blocking rules:
+///
+/// * chains and forks are blocked exactly when the middle node is in `z`;
+/// * colliders are open exactly when the collider or one of its descendants
+///   is in `z`.
+///
+/// Under the faithfulness assumption (Def. A.1 in the paper's appendix),
+/// d-separation coincides with conditional independence in the data
+/// distribution; the test suite uses this routine as the ground-truth oracle
+/// when validating the PC implementation.
+pub fn d_separated(dag: &Dag, x: usize, y: usize, z: NodeSet) -> bool {
+    assert!(x < dag.num_nodes() && y < dag.num_nodes(), "nodes out of range");
+    if x == y {
+        return false;
+    }
+    if z.contains(x) || z.contains(y) {
+        // Conventions vary; we treat conditioning on an endpoint as separating.
+        return true;
+    }
+
+    // Precompute "node is in z or has a descendant in z" for collider checks.
+    let mut anc_of_z = z;
+    {
+        let mut stack: Vec<usize> = z.iter().collect();
+        while let Some(v) = stack.pop() {
+            for p in dag.parents(v).iter() {
+                if !anc_of_z.contains(p) {
+                    anc_of_z.insert(p);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+
+    // State: (node, entered_via_incoming_edge). Start from x as if entered
+    // from a child (can travel anywhere).
+    let n = dag.num_nodes();
+    let mut visited_up = NodeSet::EMPTY; // entered against edge direction (from child)
+    let mut visited_down = NodeSet::EMPTY; // entered along edge direction (from parent)
+    let mut stack: Vec<(usize, bool)> = vec![(x, false)]; // false = "up" entry
+    visited_up.insert(x);
+
+    while let Some((v, entered_down)) = stack.pop() {
+        debug_assert!(v < n);
+        if v == y {
+            return false;
+        }
+        if !entered_down {
+            // Entered from a child (or start). If v ∉ z we may go to parents
+            // (chain backwards) and to children (fork).
+            if !z.contains(v) {
+                for p in dag.parents(v).iter() {
+                    if !visited_up.contains(p) {
+                        visited_up.insert(p);
+                        stack.push((p, false));
+                    }
+                }
+                for c in dag.children(v).iter() {
+                    if !visited_down.contains(c) {
+                        visited_down.insert(c);
+                        stack.push((c, true));
+                    }
+                }
+            }
+        } else {
+            // Entered from a parent.
+            if !z.contains(v) {
+                // Chain forward: continue to children.
+                for c in dag.children(v).iter() {
+                    if !visited_down.contains(c) {
+                        visited_down.insert(c);
+                        stack.push((c, true));
+                    }
+                }
+            }
+            if anc_of_z.contains(v) {
+                // Collider at v is open (v in z or has descendant in z):
+                // bounce back to parents.
+                for p in dag.parents(v).iter() {
+                    if !visited_up.contains(p) {
+                        visited_up.insert(p);
+                        stack.push((p, false));
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Dag {
+        // 0 → 1 → 2
+        Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    fn collider() -> Dag {
+        // 0 → 2 ← 1
+        Dag::from_edges(3, &[(0, 2), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn chain_blocking() {
+        let g = chain();
+        assert!(!d_separated(&g, 0, 2, NodeSet::EMPTY));
+        assert!(d_separated(&g, 0, 2, NodeSet::singleton(1)));
+    }
+
+    #[test]
+    fn fork_blocking() {
+        // 1 ← 0 → 2
+        let g = Dag::from_edges(3, &[(0, 1), (0, 2)]).unwrap();
+        assert!(!d_separated(&g, 1, 2, NodeSet::EMPTY));
+        assert!(d_separated(&g, 1, 2, NodeSet::singleton(0)));
+    }
+
+    #[test]
+    fn collider_opens_when_conditioned() {
+        let g = collider();
+        assert!(d_separated(&g, 0, 1, NodeSet::EMPTY));
+        assert!(!d_separated(&g, 0, 1, NodeSet::singleton(2)));
+    }
+
+    #[test]
+    fn collider_descendant_opens_path() {
+        // 0 → 2 ← 1, 2 → 3: conditioning on 3 also opens the collider.
+        let g = Dag::from_edges(4, &[(0, 2), (1, 2), (2, 3)]).unwrap();
+        assert!(d_separated(&g, 0, 1, NodeSet::EMPTY));
+        assert!(!d_separated(&g, 0, 1, NodeSet::singleton(3)));
+    }
+
+    #[test]
+    fn long_chain_and_multiple_paths() {
+        // Diamond: 0 → 1 → 3, 0 → 2 → 3.
+        let g = Dag::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap();
+        assert!(!d_separated(&g, 0, 3, NodeSet::singleton(1))); // path via 2 open
+        assert!(d_separated(&g, 0, 3, NodeSet::from_iter([1, 2])));
+        // 1 vs 2: common cause 0, common effect 3.
+        assert!(!d_separated(&g, 1, 2, NodeSet::EMPTY));
+        assert!(d_separated(&g, 1, 2, NodeSet::singleton(0)));
+        assert!(!d_separated(&g, 1, 2, NodeSet::from_iter([0, 3]))); // collider reopens
+    }
+
+    #[test]
+    fn disconnected_nodes_are_separated() {
+        let g = Dag::from_edges(4, &[(0, 1)]).unwrap();
+        assert!(d_separated(&g, 0, 3, NodeSet::EMPTY));
+        assert!(d_separated(&g, 2, 3, NodeSet::EMPTY));
+    }
+
+    #[test]
+    fn exhaustive_against_paths_on_asia_fragment() {
+        // Cancer network shape: Pollution → Cancer ← Smoker, Cancer → Xray,
+        // Cancer → Dyspnoea.
+        // Nodes: 0=Pollution, 1=Smoker, 2=Cancer, 3=Xray, 4=Dyspnoea.
+        let g = Dag::from_edges(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        // Xray and Dyspnoea share only Cancer.
+        assert!(!d_separated(&g, 3, 4, NodeSet::EMPTY));
+        assert!(d_separated(&g, 3, 4, NodeSet::singleton(2)));
+        // Pollution ⫫ Smoker, unless Cancer (or symptom) conditioned.
+        assert!(d_separated(&g, 0, 1, NodeSet::EMPTY));
+        assert!(!d_separated(&g, 0, 1, NodeSet::singleton(2)));
+        assert!(!d_separated(&g, 0, 1, NodeSet::singleton(3)));
+        // Pollution ⫫ Xray | Cancer.
+        assert!(d_separated(&g, 0, 3, NodeSet::singleton(2)));
+        assert!(!d_separated(&g, 0, 3, NodeSet::EMPTY));
+    }
+}

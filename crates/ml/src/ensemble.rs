@@ -1,0 +1,115 @@
+//! Majority-vote ensemble.
+
+use crate::naive_bayes::NaiveBayes;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+use guardrail_table::{Row, Table, Value};
+
+/// The default model of the experiment harness: naive Bayes plus a shallow
+/// and a deep decision tree, combined by majority vote (ties resolve toward
+/// the deep tree, the strongest individual member).
+///
+/// This mirrors the role autogluon plays in the paper — "trains various ML
+/// models (NN, tree-based models, etc.) and creates an ensemble" — at the
+/// scale of this reproduction.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    nb: NaiveBayes,
+    shallow: DecisionTree,
+    deep: DecisionTree,
+}
+
+impl Ensemble {
+    /// Fits all members on `table` with labels in `label_col`.
+    pub fn fit(table: &Table, label_col: usize) -> Self {
+        Self {
+            nb: NaiveBayes::fit(table, label_col),
+            shallow: DecisionTree::fit(
+                table,
+                label_col,
+                TreeConfig { max_depth: 4, min_samples_split: 16 },
+            ),
+            deep: DecisionTree::fit(
+                table,
+                label_col,
+                TreeConfig { max_depth: 10, min_samples_split: 4 },
+            ),
+        }
+    }
+
+    /// Individual member predictions (diagnostics).
+    pub fn member_predictions(&self, row: &Row) -> [Value; 3] {
+        [self.nb.predict_row(row), self.shallow.predict_row(row), self.deep.predict_row(row)]
+    }
+}
+
+impl Classifier for Ensemble {
+    fn predict_row(&self, row: &Row) -> Value {
+        let votes = self.member_predictions(row);
+        // Majority of three; any pairwise agreement wins, else the deep tree.
+        if votes[0] == votes[1] || votes[0] == votes[2] {
+            votes[0].clone()
+        } else {
+            votes[2].clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> Table {
+        // label determined by a; b is a weaker correlate; c is noise.
+        let mut csv = String::from("a,b,c,label\n");
+        for i in 0..n {
+            let a = i % 3;
+            let b = if i % 7 == 0 { 9 } else { a };
+            csv.push_str(&format!("{a},{b},{},{}\n", i % 5, a));
+        }
+        Table::from_csv_str(&csv).unwrap()
+    }
+
+    #[test]
+    fn ensemble_beats_chance_and_agrees_with_members() {
+        let t = table(600);
+        let e = Ensemble::fit(&t, 3);
+        assert!(e.accuracy(&t, 3) > 0.95);
+    }
+
+    #[test]
+    fn majority_vote_logic() {
+        let t = table(300);
+        let e = Ensemble::fit(&t, 3);
+        let row = t.row_owned(0).unwrap();
+        let votes = e.member_predictions(&row);
+        let pred = e.predict_row(&row);
+        let agreement =
+            (votes[0] == votes[1]) as u8 + (votes[0] == votes[2]) as u8 + (votes[1] == votes[2]) as u8;
+        if agreement > 0 {
+            // The prediction must be one of the majority values.
+            assert!(votes.iter().filter(|v| **v == pred).count() >= 2);
+        } else {
+            assert_eq!(pred, votes[2]);
+        }
+    }
+
+    #[test]
+    fn predict_table_shape() {
+        let t = table(100);
+        let e = Ensemble::fit(&t, 3);
+        assert_eq!(e.predict_table(&t).len(), 100);
+    }
+
+    #[test]
+    fn corrupted_inputs_shift_predictions() {
+        let t = table(600);
+        let e = Ensemble::fit(&t, 3);
+        let clean = Table::from_csv_str("a,b,c,label\n1,1,0,?\n").unwrap();
+        let dirty = Table::from_csv_str("a,b,c,label\n2,2,0,?\n").unwrap();
+        assert_ne!(
+            e.predict_row(&clean.row_owned(0).unwrap()),
+            e.predict_row(&dirty.row_owned(0).unwrap())
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Dense code matrices for independence testing.
+
+use guardrail_table::{Table, NULL_CODE};
+
+/// A table re-encoded for statistics: per column, a dense `u32` code vector
+/// with codes in `0..card` (missing values are assigned the extra code
+/// `card - 1` when present, so every cell is a valid category).
+#[derive(Debug, Clone)]
+pub struct EncodedData {
+    columns: Vec<Vec<u32>>,
+    cards: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl EncodedData {
+    /// Encodes all columns of `table`.
+    pub fn from_table(table: &Table) -> Self {
+        let mut columns = Vec::with_capacity(table.num_columns());
+        let mut cards = Vec::with_capacity(table.num_columns());
+        for col in table.columns() {
+            let base = col.distinct_count();
+            let has_null = col.codes().iter().any(|&c| c == NULL_CODE);
+            let card = base + usize::from(has_null);
+            let codes = col
+                .codes()
+                .iter()
+                .map(|&c| if c == NULL_CODE { base as u32 } else { c })
+                .collect();
+            columns.push(codes);
+            // A column of all nulls still needs cardinality ≥ 1.
+            cards.push(card.max(1));
+        }
+        let names = table.schema().names().iter().map(|s| s.to_string()).collect();
+        Self { columns, cards, names }
+    }
+
+    /// Builds encoded data directly from code columns (used by the auxiliary
+    /// sampler, whose binary indicators never pass through a `Table`).
+    pub fn from_parts(columns: Vec<Vec<u32>>, cards: Vec<usize>, names: Vec<String>) -> Self {
+        assert_eq!(columns.len(), cards.len());
+        assert_eq!(columns.len(), names.len());
+        let n = columns.first().map(|c| c.len()).unwrap_or(0);
+        for (col, &card) in columns.iter().zip(&cards) {
+            assert_eq!(col.len(), n, "columns must be aligned");
+            debug_assert!(col.iter().all(|&c| (c as usize) < card), "code outside cardinality");
+        }
+        Self { columns, cards, names }
+    }
+
+    /// Number of attributes.
+    pub fn num_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Code vector of attribute `i`.
+    pub fn column(&self, i: usize) -> &[u32] {
+        &self.columns[i]
+    }
+
+    /// Cardinality of attribute `i`.
+    pub fn card(&self, i: usize) -> usize {
+        self.cards[i]
+    }
+
+    /// All cardinalities.
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// Attribute names (parallel to columns).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_table_columns() {
+        let t = Table::from_csv_str("a,b\nx,1\ny,2\nx,1\n").unwrap();
+        let e = EncodedData::from_table(&t);
+        assert_eq!(e.num_attrs(), 2);
+        assert_eq!(e.num_rows(), 3);
+        assert_eq!(e.card(0), 2);
+        assert_eq!(e.column(0), &[0, 1, 0]);
+        assert_eq!(e.names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn nulls_get_their_own_category() {
+        let t = Table::from_csv_str("a,b\nx,1\n,2\ny,3\n").unwrap();
+        let e = EncodedData::from_table(&t);
+        assert_eq!(e.card(0), 3);
+        assert_eq!(e.column(0), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let t = Table::from_csv_str("a,b\n,1\n,2\n").unwrap();
+        let e = EncodedData::from_table(&t);
+        assert_eq!(e.card(0), 1);
+        assert_eq!(e.column(0), &[0, 0]);
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let e = EncodedData::from_parts(
+            vec![vec![0, 1, 0], vec![1, 1, 0]],
+            vec![2, 2],
+            vec!["i0".into(), "i1".into()],
+        );
+        assert_eq!(e.num_rows(), 3);
+        assert_eq!(e.card(1), 2);
+    }
+}

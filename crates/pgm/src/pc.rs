@@ -1,0 +1,196 @@
+//! The PC-stable algorithm: CPDAG learning from an independence oracle.
+//!
+//! Three phases, per Spirtes–Glymour with the order-independent "stable"
+//! skeleton variant of Colombo & Maathuis:
+//!
+//! 1. **Skeleton**: start complete; for growing conditioning-set size `ℓ`,
+//!    remove the edge `x — y` if some `S ⊆ adj(x)∖{y}` (or `adj(y)∖{x}`)
+//!    with `|S| = ℓ` renders them independent, recording `S` as the
+//!    separation set. Adjacencies are snapshotted per level so the result
+//!    does not depend on iteration order.
+//! 2. **V-structures**: for every nonadjacent pair `(x, y)` with common
+//!    neighbor `k ∉ sepset(x, y)`, orient `x → k ← y`.
+//! 3. **Meek closure**: propagate compelled orientations (R1–R3).
+
+use crate::oracle::IndependenceOracle;
+use guardrail_graph::{NodeSet, Pdag};
+use std::collections::HashMap;
+
+/// PC algorithm configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PcConfig {
+    /// Largest conditioning-set size to try. Attribute graphs in this domain
+    /// are shallow; 3 matches common PC practice and bounds the worst-case
+    /// test count.
+    pub max_cond_size: usize,
+}
+
+impl Default for PcConfig {
+    fn default() -> Self {
+        Self { max_cond_size: 3 }
+    }
+}
+
+/// Runs PC-stable against `oracle`, returning the learned CPDAG.
+pub fn pc_algorithm<O: IndependenceOracle>(oracle: &O, config: PcConfig) -> Pdag {
+    let n = oracle.num_vars();
+    let mut adj: Vec<NodeSet> = (0..n)
+        .map(|i| {
+            let mut s = NodeSet::full(n);
+            s.remove(i);
+            s
+        })
+        .collect();
+    let mut sepsets: HashMap<(usize, usize), NodeSet> = HashMap::new();
+
+    // Phase 1: skeleton.
+    for level in 0..=config.max_cond_size {
+        // Snapshot adjacencies for order independence (PC-stable).
+        let snapshot = adj.clone();
+        let mut any_candidate = false;
+        for x in 0..n {
+            for y in snapshot[x].iter() {
+                if y < x || !adj[x].contains(y) {
+                    continue; // handle each unordered pair once per level
+                }
+                let mut removed = false;
+                for (a, b) in [(x, y), (y, x)] {
+                    let mut pool = snapshot[a];
+                    pool.remove(b);
+                    if pool.len() < level {
+                        continue;
+                    }
+                    any_candidate = true;
+                    for s in pool.subsets_of_size(level) {
+                        if oracle.independent(a, b, s) {
+                            adj[x].remove(y);
+                            adj[y].remove(x);
+                            sepsets.insert(key(x, y), s);
+                            removed = true;
+                            break;
+                        }
+                    }
+                    if removed {
+                        break;
+                    }
+                }
+            }
+        }
+        if !any_candidate && level > 0 {
+            break; // no pair has enough neighbors for larger sets
+        }
+    }
+
+    // Phase 2: v-structures.
+    let mut pdag = Pdag::new(n);
+    for x in 0..n {
+        for y in adj[x].iter() {
+            if x < y {
+                pdag.add_undirected(x, y);
+            }
+        }
+    }
+    for x in 0..n {
+        for y in (x + 1)..n {
+            if adj[x].contains(y) {
+                continue;
+            }
+            let common = adj[x].intersection(adj[y]);
+            if common.is_empty() {
+                continue;
+            }
+            let sepset = sepsets.get(&key(x, y)).copied().unwrap_or(NodeSet::EMPTY);
+            for k in common.iter() {
+                if !sepset.contains(k) {
+                    // Do not overwrite an opposing compelled orientation:
+                    // conflicting v-structures can arise from finite-sample
+                    // errors; first orientation wins (deterministic order).
+                    if pdag.has_undirected(x, k) || pdag.has_directed(x, k) {
+                        pdag.orient(x, k);
+                    }
+                    if pdag.has_undirected(y, k) || pdag.has_directed(y, k) {
+                        pdag.orient(y, k);
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: Meek closure.
+    pdag.meek_closure();
+    pdag
+}
+
+fn key(x: usize, y: usize) -> (usize, usize) {
+    (x.min(y), x.max(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DagOracle;
+    use guardrail_graph::Dag;
+
+    fn learn_from_dag(dag: &Dag) -> Pdag {
+        let oracle = DagOracle::new(dag.clone());
+        // Oracle tests are exact; allow deep conditioning.
+        pc_algorithm(&oracle, PcConfig { max_cond_size: 6 })
+    }
+
+    #[test]
+    fn recovers_collider_exactly() {
+        let dag = Dag::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let cpdag = learn_from_dag(&dag);
+        assert_eq!(cpdag, dag.to_cpdag());
+        assert!(cpdag.has_directed(0, 2));
+        assert!(cpdag.has_directed(1, 2));
+    }
+
+    #[test]
+    fn recovers_chain_up_to_mec() {
+        let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let cpdag = learn_from_dag(&dag);
+        assert_eq!(cpdag, dag.to_cpdag());
+        assert_eq!(cpdag.num_undirected_edges(), 3);
+    }
+
+    #[test]
+    fn recovers_cancer_network() {
+        // Pollution → Cancer ← Smoker; Cancer → Xray; Cancer → Dyspnoea.
+        let dag = Dag::from_edges(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let cpdag = learn_from_dag(&dag);
+        assert_eq!(cpdag, dag.to_cpdag());
+        // Collider pins the top, Meek R1 propagates to the symptoms.
+        assert!(cpdag.has_directed(0, 2));
+        assert!(cpdag.has_directed(1, 2));
+        assert!(cpdag.has_directed(2, 3));
+        assert!(cpdag.has_directed(2, 4));
+    }
+
+    #[test]
+    fn recovers_diamond() {
+        // 0 → 1 → 3, 0 → 2 → 3.
+        let dag = Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let cpdag = learn_from_dag(&dag);
+        assert_eq!(cpdag, dag.to_cpdag());
+    }
+
+    #[test]
+    fn empty_graph_stays_empty() {
+        let dag = Dag::new(4);
+        let cpdag = learn_from_dag(&dag);
+        assert_eq!(cpdag.num_directed_edges() + cpdag.num_undirected_edges(), 0);
+    }
+
+    #[test]
+    fn dense_dag_with_limited_conditioning() {
+        // With max_cond_size below what's needed, PC may keep extra edges but
+        // must never drop true ones.
+        let dag = Dag::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let oracle = DagOracle::new(dag.clone());
+        let cpdag = pc_algorithm(&oracle, PcConfig { max_cond_size: 1 });
+        for (u, v) in dag.edges() {
+            assert!(cpdag.adjacent(u, v), "true edge ({u},{v}) must survive");
+        }
+    }
+}

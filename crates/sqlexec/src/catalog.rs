@@ -1,0 +1,118 @@
+//! Named tables and models.
+
+use guardrail_ml::Classifier;
+use guardrail_table::Table;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shareable fitted model.
+pub type ModelRef = Arc<dyn Classifier + Send + Sync>;
+
+/// The executor's name resolution context: registered tables and ML models.
+#[derive(Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    models: HashMap<String, ModelRef>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn add_table(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Registers (or replaces) a model.
+    pub fn add_model(&mut self, name: impl Into<String>, model: ModelRef) {
+        self.models.insert(name.into(), model);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Looks up a model.
+    pub fn model(&self, name: &str) -> Option<&ModelRef> {
+        self.models.get(name)
+    }
+
+    /// Registered table names (sorted).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Materializes `query` and registers its result as table `name`.
+    ///
+    /// This is the paper's §7 workaround for multi-table workloads: "one can
+    /// use the materialized views to pre-compute the results and use our
+    /// query executor over multiple tables". The view is computed once, with
+    /// the catalog's current contents and no guardrail interception.
+    pub fn add_materialized_view(
+        &mut self,
+        name: impl Into<String>,
+        query: &str,
+    ) -> Result<(), crate::error::SqlError> {
+        let result = crate::exec::Executor::new(self).run(query)?;
+        self.tables.insert(name.into(), result.table);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.table_names())
+            .field("models", &self.models.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardrail_ml::NaiveBayes;
+
+    #[test]
+    fn materialized_view_roundtrip() {
+        let mut c = Catalog::new();
+        c.add_table(
+            "people",
+            Table::from_csv_str("city,age\nA,30\nA,40\nB,50\n").unwrap(),
+        );
+        c.add_materialized_view(
+            "city_stats",
+            "SELECT city, AVG(age) AS avg_age FROM people GROUP BY city ORDER BY city",
+        )
+        .unwrap();
+        let view = c.table("city_stats").unwrap();
+        assert_eq!(view.num_rows(), 2);
+        assert_eq!(view.get(0, 1).unwrap().as_f64(), Some(35.0));
+        // Views are queryable like base tables.
+        let out = crate::exec::Executor::new(&c)
+            .run("SELECT avg_age FROM city_stats WHERE city = 'B'")
+            .unwrap();
+        assert_eq!(out.table.get(0, 0).unwrap().as_f64(), Some(50.0));
+        // Bad view queries surface errors.
+        assert!(c.add_materialized_view("bad", "SELECT x FROM nope").is_err());
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let mut c = Catalog::new();
+        let t = Table::from_csv_str("a,label\n1,x\n2,y\n").unwrap();
+        let model = NaiveBayes::fit(&t, 1);
+        c.add_table("t", t);
+        c.add_model("m", Arc::new(model));
+        assert!(c.table("t").is_some());
+        assert!(c.table("nope").is_none());
+        assert!(c.model("m").is_some());
+        assert_eq!(c.table_names(), vec!["t"]);
+    }
+}

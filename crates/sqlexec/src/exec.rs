@@ -1,0 +1,882 @@
+//! The query executor.
+
+use crate::ast::{AggFunc, BinOp, Expr, Query, SortOrder};
+use crate::catalog::Catalog;
+use crate::error::SqlError;
+use crate::optimizer::split_pushdown;
+use crate::parser::parse_query;
+use guardrail_core::{ErrorScheme, Guardrail, RowOutcome};
+use guardrail_table::{Row, Table, TableBuilder, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-query execution statistics (the Table 6 breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// Rows in the base table.
+    pub rows_scanned: usize,
+    /// Rows surviving pushed-down predicates (== `rows_scanned` when no
+    /// predicate was pushable).
+    pub rows_after_pushdown: usize,
+    /// Model invocations performed.
+    pub predictions: usize,
+    /// Nanoseconds spent in Guardrail row vetting.
+    pub guardrail_nanos: u128,
+    /// Nanoseconds spent in ML inference.
+    pub inference_nanos: u128,
+    /// Constraint violations encountered.
+    pub violations: usize,
+}
+
+/// A query result: the output relation plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Result rows.
+    pub table: Table,
+    /// Statistics.
+    pub stats: ExecutionStats,
+}
+
+/// Executes SQL against a [`Catalog`], optionally guarding every ML
+/// inference with a fitted [`Guardrail`].
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    guardrail: Option<(&'a Guardrail, ErrorScheme)>,
+    pushdown: bool,
+}
+
+impl<'a> Executor<'a> {
+    /// An executor with predicate pushdown enabled and no guardrail.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self { catalog, guardrail: None, pushdown: true }
+    }
+
+    /// Installs a guardrail: every row feeding a `PREDICT` is vetted under
+    /// `scheme` first (Fig. 1's interception point).
+    pub fn with_guardrail(mut self, guardrail: &'a Guardrail, scheme: ErrorScheme) -> Self {
+        self.guardrail = Some((guardrail, scheme));
+        self
+    }
+
+    /// Toggles predicate pushdown (ablation hook).
+    pub fn with_pushdown(mut self, enabled: bool) -> Self {
+        self.pushdown = enabled;
+        self
+    }
+
+    /// Parses and executes `sql`.
+    pub fn run(&self, sql: &str) -> Result<QueryOutput, SqlError> {
+        let query = parse_query(sql)?;
+        self.run_query(&query)
+    }
+
+    /// Renders the execution plan for `sql` without running it — which
+    /// predicates are pushed below the ML stage, where the guardrail
+    /// intercepts, and the shape of the aggregation.
+    pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
+        let query = parse_query(sql)?;
+        let base = self
+            .catalog
+            .table(&query.from)
+            .ok_or_else(|| SqlError::UnknownTable(query.from.clone()))?;
+        let (pushed, residual) = if self.pushdown {
+            split_pushdown(query.where_clause.as_ref(), base.schema())
+        } else {
+            (None, query.where_clause.clone())
+        };
+        let models = collect_models(&query);
+        let mut out = format!(
+            "Scan {} ({} rows, {} columns)\n",
+            query.from,
+            base.num_rows(),
+            base.num_columns()
+        );
+        if let Some(p) = &pushed {
+            out.push_str(&format!("  Pushdown filter: {p}\n"));
+        }
+        if !models.is_empty() {
+            if let Some((_, scheme)) = self.guardrail {
+                out.push_str(&format!("  Guardrail: {scheme:?}\n"));
+            }
+            out.push_str(&format!("  Predict: {}\n", models.join(", ")));
+        }
+        if let Some(r) = &residual {
+            out.push_str(&format!("  Residual filter: {r}\n"));
+        }
+        let projections: Vec<String> =
+            query.projections.iter().map(|p| format!("{} AS {}", p.expr, p.name)).collect();
+        if !query.group_by.is_empty()
+            || query.projections.iter().any(|p| p.expr.has_aggregate())
+        {
+            let keys: Vec<String> = query.group_by.iter().map(|g| g.to_string()).collect();
+            out.push_str(&format!(
+                "  Aggregate: GROUP BY [{}] -> [{}]\n",
+                keys.join(", "),
+                projections.join(", ")
+            ));
+            if let Some(h) = &query.having {
+                out.push_str(&format!("  Having: {h}\n"));
+            }
+        } else {
+            out.push_str(&format!("  Project: [{}]\n", projections.join(", ")));
+        }
+        if !query.order_by.is_empty() {
+            let keys: Vec<String> = query
+                .order_by
+                .iter()
+                .map(|(e, o)| format!("{e} {:?}", o).to_uppercase())
+                .collect();
+            out.push_str(&format!("  Sort: {}\n", keys.join(", ").replace("ASC", "ASC").replace("DESC", "DESC")));
+        }
+        if let Some(l) = query.limit {
+            out.push_str(&format!("  Limit: {l}\n"));
+        }
+        Ok(out)
+    }
+
+    /// Executes a parsed query.
+    pub fn run_query(&self, query: &Query) -> Result<QueryOutput, SqlError> {
+        let base = self
+            .catalog
+            .table(&query.from)
+            .ok_or_else(|| SqlError::UnknownTable(query.from.clone()))?;
+        let mut stats =
+            ExecutionStats { rows_scanned: base.num_rows(), ..ExecutionStats::default() };
+
+        // Phase 1: predicate pushdown on the raw table.
+        let (pushed, residual) = if self.pushdown {
+            split_pushdown(query.where_clause.as_ref(), base.schema())
+        } else {
+            (None, query.where_clause.clone())
+        };
+        let empty_env = Env { row: None, aliases: &HashMap::new(), predictions: &HashMap::new() };
+        let mut surviving: Vec<usize> = Vec::with_capacity(base.num_rows());
+        for i in 0..base.num_rows() {
+            match &pushed {
+                None => surviving.push(i),
+                Some(pred) => {
+                    let row = base.row_owned(i).expect("row in range");
+                    let env = Env { row: Some(&row), ..empty_env };
+                    if truthy(&eval(pred, &env)?)? {
+                        surviving.push(i);
+                    }
+                }
+            }
+        }
+        stats.rows_after_pushdown = surviving.len();
+
+        // Which models does the query call?
+        let models = collect_models(query);
+        for m in &models {
+            if self.catalog.model(m).is_none() {
+                return Err(SqlError::UnknownModel(m.clone()));
+            }
+        }
+
+        // Phase 2: per-row guardrail vetting, inference, alias computation,
+        // residual filtering.
+        let scalar_projections: Vec<(usize, &Expr, &str)> = query
+            .projections
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.expr.has_aggregate())
+            .map(|(i, p)| (i, &p.expr, p.name.as_str()))
+            .collect();
+
+        struct Processed {
+            row: Row,
+            predictions: HashMap<String, Value>,
+            aliases: HashMap<String, Value>,
+        }
+        let mut processed: Vec<Processed> = Vec::with_capacity(surviving.len());
+        for &i in &surviving {
+            let mut row = base.row_owned(i).expect("row in range");
+            let mut predictions = HashMap::new();
+            if !models.is_empty() {
+                if let Some((guard, scheme)) = self.guardrail {
+                    let t0 = Instant::now();
+                    let outcome = guard.handle_row(&row, scheme);
+                    stats.guardrail_nanos += t0.elapsed().as_nanos();
+                    stats.violations += outcome.violations().len();
+                    match outcome {
+                        RowOutcome::Raised(violations) => {
+                            return Err(SqlError::GuardrailRaise {
+                                row: i,
+                                detail: violations
+                                    .first()
+                                    .map(|v| {
+                                        format!(
+                                            "{} should be {} (found {})",
+                                            v.attribute, v.expected, v.actual
+                                        )
+                                    })
+                                    .unwrap_or_default(),
+                            })
+                        }
+                        outcome => {
+                            row = outcome.row().expect("non-raise outcome has a row").clone();
+                        }
+                    }
+                }
+                let t0 = Instant::now();
+                for m in &models {
+                    let model = self.catalog.model(m).expect("checked above");
+                    predictions.insert(m.clone(), model.predict_row(&row));
+                    stats.predictions += 1;
+                }
+                stats.inference_nanos += t0.elapsed().as_nanos();
+            }
+            // Aliases for scalar projections (GROUP BY income_pred support).
+            let mut aliases = HashMap::new();
+            {
+                let env = Env { row: Some(&row), aliases: &aliases, predictions: &predictions };
+                let mut computed = Vec::new();
+                for &(_, expr, name) in &scalar_projections {
+                    computed.push((name.to_string(), eval(expr, &env)?));
+                }
+                drop(env);
+                aliases.extend(computed);
+            }
+            // Residual predicate.
+            if let Some(pred) = &residual {
+                let env = Env { row: Some(&row), aliases: &aliases, predictions: &predictions };
+                if !truthy(&eval(pred, &env)?)? {
+                    continue;
+                }
+            }
+            processed.push(Processed { row, predictions, aliases });
+        }
+
+        // Phase 3: aggregation / projection.
+        let has_aggregate = query.projections.iter().any(|p| p.expr.has_aggregate());
+        let names: Vec<String> = query.projections.iter().map(|p| p.name.clone()).collect();
+        let mut builder = TableBuilder::new(names);
+
+        if has_aggregate || !query.group_by.is_empty() {
+            // Group rows by the GROUP BY key.
+            let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+            let mut index: HashMap<String, usize> = HashMap::new();
+            for (ri, p) in processed.iter().enumerate() {
+                let env =
+                    Env { row: Some(&p.row), aliases: &p.aliases, predictions: &p.predictions };
+                let mut key = Vec::with_capacity(query.group_by.len());
+                for g in &query.group_by {
+                    key.push(eval(g, &env)?);
+                }
+                let fingerprint = format!("{key:?}");
+                match index.get(&fingerprint) {
+                    Some(&gi) => groups[gi].1.push(ri),
+                    None => {
+                        index.insert(fingerprint, groups.len());
+                        groups.push((key, vec![ri]));
+                    }
+                }
+            }
+            if groups.is_empty() && query.group_by.is_empty() {
+                // Aggregates over an empty input still yield one row.
+                groups.push((Vec::new(), Vec::new()));
+            }
+            groups.sort_by(|(ka, _), (kb, _)| ka.cmp(kb)); // deterministic output
+            // HAVING filters whole groups; aggregates inside it evaluate
+            // over the group's members.
+            if let Some(having) = &query.having {
+                let mut kept = Vec::with_capacity(groups.len());
+                for (key, members) in groups {
+                    let value = eval_aggregate(having, &members, &processed, |ri| Env {
+                        row: Some(&processed[ri].row),
+                        aliases: &processed[ri].aliases,
+                        predictions: &processed[ri].predictions,
+                    })?;
+                    if truthy(&value)? {
+                        kept.push((key, members));
+                    }
+                }
+                groups = kept;
+            }
+            for (_, members) in &groups {
+                let mut out_row = Vec::with_capacity(query.projections.len());
+                for p in &query.projections {
+                    if p.expr.has_aggregate() {
+                        out_row.push(eval_aggregate(&p.expr, members, &processed, |ri| Env {
+                            row: Some(&processed[ri].row),
+                            aliases: &processed[ri].aliases,
+                            predictions: &processed[ri].predictions,
+                        })?);
+                    } else {
+                        // Scalar in a grouped query: value from the first
+                        // member (callers group by it, per SQL convention).
+                        match members.first() {
+                            Some(&ri) => {
+                                out_row.push(processed[ri].aliases[&p.name].clone());
+                            }
+                            None => out_row.push(Value::Null),
+                        }
+                    }
+                }
+                builder.push_row(out_row).expect("arity matches");
+            }
+        } else {
+            for p in &processed {
+                let out_row =
+                    query.projections.iter().map(|item| p.aliases[&item.name].clone()).collect();
+                builder.push_row(out_row).expect("arity matches");
+            }
+        }
+        let mut table = builder.finish().map_err(|e| SqlError::Semantic(e.to_string()))?;
+
+        // Phase 4: ORDER BY over the output relation.
+        if !query.order_by.is_empty() {
+            let mut keys: Vec<(Vec<Value>, Vec<SortOrder>, usize)> = Vec::new();
+            for i in 0..table.num_rows() {
+                let row = table.row_owned(i).expect("in range");
+                let mut key = Vec::new();
+                let mut orders = Vec::new();
+                for (e, ord) in &query.order_by {
+                    let env = Env {
+                        row: Some(&row),
+                        aliases: &HashMap::new(),
+                        predictions: &HashMap::new(),
+                    };
+                    key.push(eval(e, &env)?);
+                    orders.push(*ord);
+                }
+                keys.push((key, orders, i));
+            }
+            keys.sort_by(|(ka, orders, _), (kb, _, _)| {
+                for ((a, b), ord) in ka.iter().zip(kb).zip(orders) {
+                    let c = a.cmp(b);
+                    let c = match ord {
+                        SortOrder::Asc => c,
+                        SortOrder::Desc => c.reverse(),
+                    };
+                    if c != std::cmp::Ordering::Equal {
+                        return c;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let order: Vec<usize> = keys.into_iter().map(|(_, _, i)| i).collect();
+            table = table.take(&order);
+        }
+
+        // Phase 5: LIMIT.
+        if let Some(limit) = query.limit {
+            table = table.head(limit);
+        }
+
+        Ok(QueryOutput { table, stats })
+    }
+}
+
+/// Evaluation environment for one row.
+struct Env<'a> {
+    row: Option<&'a Row>,
+    aliases: &'a HashMap<String, Value>,
+    predictions: &'a HashMap<String, Value>,
+}
+
+fn collect_models(query: &Query) -> Vec<String> {
+    fn walk(expr: &Expr, out: &mut Vec<String>) {
+        match expr {
+            Expr::Predict { model } => {
+                if !out.contains(model) {
+                    out.push(model.clone());
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Not(e) => walk(e, out),
+            Expr::Case { branches, otherwise } => {
+                for (c, v) in branches {
+                    walk(c, out);
+                    walk(v, out);
+                }
+                if let Some(e) = otherwise {
+                    walk(e, out);
+                }
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(e) = arg {
+                    walk(e, out);
+                }
+            }
+            Expr::Column(_) | Expr::Literal(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    for p in &query.projections {
+        walk(&p.expr, &mut out);
+    }
+    if let Some(w) = &query.where_clause {
+        walk(w, &mut out);
+    }
+    for g in &query.group_by {
+        walk(g, &mut out);
+    }
+    for (e, _) in &query.order_by {
+        walk(e, &mut out);
+    }
+    out
+}
+
+fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value, SqlError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(name) => {
+            if let Some(row) = env.row {
+                if let Some(v) = row.get_by_name(name) {
+                    return Ok(v.clone());
+                }
+            }
+            if let Some(v) = env.aliases.get(name) {
+                return Ok(v.clone());
+            }
+            Err(SqlError::UnknownColumn(name.clone()))
+        }
+        Expr::Predict { model } => env
+            .predictions
+            .get(model)
+            .cloned()
+            .ok_or_else(|| SqlError::UnknownModel(model.clone())),
+        Expr::Not(e) => {
+            let v = eval(e, env)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(!truthy(&v)?))
+            }
+        }
+        Expr::Case { branches, otherwise } => {
+            for (cond, value) in branches {
+                let c = eval(cond, env)?;
+                if !c.is_null() && truthy(&c)? {
+                    return eval(value, env);
+                }
+            }
+            match otherwise {
+                Some(e) => eval(e, env),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            match op {
+                BinOp::And => {
+                    let l = eval(left, env)?;
+                    if !l.is_null() && !truthy(&l)? {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = eval(right, env)?;
+                    if !r.is_null() && !truthy(&r)? {
+                        return Ok(Value::Bool(false));
+                    }
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    Ok(Value::Bool(true))
+                }
+                BinOp::Or => {
+                    let l = eval(left, env)?;
+                    if !l.is_null() && truthy(&l)? {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = eval(right, env)?;
+                    if !r.is_null() && truthy(&r)? {
+                        return Ok(Value::Bool(true));
+                    }
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    Ok(Value::Bool(false))
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let l = eval(left, env)?;
+                    let r = eval(right, env)?;
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null); // SQL three-valued logic
+                    }
+                    let out = match op {
+                        BinOp::Eq => l == r,
+                        BinOp::Ne => l != r,
+                        BinOp::Lt => l < r,
+                        BinOp::Le => l <= r,
+                        BinOp::Gt => l > r,
+                        BinOp::Ge => l >= r,
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Bool(out))
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    let l = eval(left, env)?;
+                    let r = eval(right, env)?;
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let (a, b) = match (l.as_f64(), r.as_f64()) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => {
+                            return Err(SqlError::Semantic(format!(
+                                "arithmetic on non-numeric values {l} and {r}"
+                            )))
+                        }
+                    };
+                    let result = match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => {
+                            if b == 0.0 {
+                                return Ok(Value::Null);
+                            }
+                            a / b
+                        }
+                        _ => unreachable!(),
+                    };
+                    // Keep integers integral when possible.
+                    if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul)
+                        && matches!((&l, &r), (Value::Int(_), Value::Int(_)))
+                    {
+                        Ok(Value::Int(result as i64))
+                    } else {
+                        Ok(Value::float(result))
+                    }
+                }
+            }
+        }
+        Expr::Aggregate { .. } => Err(SqlError::Semantic(
+            "aggregate used in a scalar context".into(),
+        )),
+    }
+}
+
+fn eval_aggregate<'p, F>(
+    expr: &Expr,
+    members: &[usize],
+    _processed: &'p [impl Sized],
+    env_of: F,
+) -> Result<Value, SqlError>
+where
+    F: Fn(usize) -> Env<'p> + Copy,
+{
+    match expr {
+        Expr::Aggregate { func, arg } => {
+            match func {
+                AggFunc::Count if arg.is_none() => Ok(Value::Int(members.len() as i64)),
+                _ => {
+                    let arg = arg.as_ref().expect("non-COUNT(*) aggregate has an argument");
+                    let mut values = Vec::with_capacity(members.len());
+                    for &ri in members {
+                        let v = eval(arg, &env_of(ri))?;
+                        if !v.is_null() {
+                            values.push(v);
+                        }
+                    }
+                    match func {
+                        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+                        AggFunc::Min => Ok(values.iter().min().cloned().unwrap_or(Value::Null)),
+                        AggFunc::Max => Ok(values.iter().max().cloned().unwrap_or(Value::Null)),
+                        AggFunc::Sum | AggFunc::Avg => {
+                            let nums: Option<Vec<f64>> =
+                                values.iter().map(|v| v.as_f64()).collect();
+                            let nums = nums.ok_or_else(|| {
+                                SqlError::Semantic("SUM/AVG over non-numeric values".into())
+                            })?;
+                            if nums.is_empty() {
+                                return Ok(Value::Null);
+                            }
+                            let sum: f64 = nums.iter().sum();
+                            match func {
+                                AggFunc::Sum => Ok(Value::float(sum)),
+                                AggFunc::Avg => Ok(Value::float(sum / nums.len() as f64)),
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Aggregate embedded in arithmetic, e.g. `AVG(x) * 100`.
+        Expr::Binary { op, left, right } => {
+            let l = eval_aggregate(left, members, _processed, env_of)?;
+            let r = eval_aggregate(right, members, _processed, env_of)?;
+            let reduced = Expr::Binary {
+                op: *op,
+                left: Box::new(Expr::Literal(l)),
+                right: Box::new(Expr::Literal(r)),
+            };
+            eval(&reduced, &env_of(*members.first().unwrap_or(&0)))
+        }
+        // Non-aggregate sub-expression inside an aggregate projection:
+        // evaluate on the first member.
+        other => match members.first() {
+            Some(&ri) => eval(other, &env_of(ri)),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn truthy(v: &Value) -> Result<bool, SqlError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        Value::Null => Ok(false),
+        other => Err(SqlError::Semantic(format!("expected boolean, got {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardrail_core::GuardrailConfig;
+    use guardrail_ml::NaiveBayes;
+    use std::sync::Arc;
+
+    fn people() -> Table {
+        Table::from_csv_str(
+            "age,city,income\n30,A,low\n40,A,high\n50,B,high\n20,B,low\n60,A,high\n",
+        )
+        .unwrap()
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table("people", people());
+        c
+    }
+
+    fn run(sql: &str) -> Table {
+        let c = catalog();
+        Executor::new(&c).run(sql).unwrap().table
+    }
+
+    #[test]
+    fn select_where_projection() {
+        let t = run("SELECT age, city FROM people WHERE age >= 40");
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema().names(), vec!["age", "city"]);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let t = run("SELECT city, AVG(age) AS a, COUNT(*) AS n FROM people GROUP BY city ORDER BY city");
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.get(0, 0), Some(Value::from("A")));
+        assert!((t.get(0, 1).unwrap().as_f64().unwrap() - 130.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.get(0, 2), Some(Value::Int(3)));
+        assert_eq!(t.get(1, 2), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn case_when_inside_avg() {
+        let t = run("SELECT AVG(CASE WHEN income = 'high' THEN 1 ELSE 0 END) AS frac FROM people");
+        assert!((t.get(0, 0).unwrap().as_f64().unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_aggregate_without_group() {
+        let t = run("SELECT COUNT(*) AS n, MIN(age) AS lo, MAX(age) AS hi, SUM(age) AS s FROM people");
+        assert_eq!(t.get(0, 0), Some(Value::Int(5)));
+        assert_eq!(t.get(0, 1), Some(Value::Int(20)));
+        assert_eq!(t.get(0, 2), Some(Value::Int(60)));
+        assert_eq!(t.get(0, 3).unwrap().as_f64(), Some(200.0));
+    }
+
+    #[test]
+    fn explain_shows_pushdown_and_stages() {
+        let train = people();
+        let model = NaiveBayes::fit(&train, 2);
+        let mut c = catalog();
+        c.add_model("m", Arc::new(model));
+        let exec = Executor::new(&c);
+        let plan = exec
+            .explain(
+                "SELECT PREDICT(m) AS p, AVG(age) AS a FROM people \
+                 WHERE city = 'A' AND PREDICT(m) = 'high' GROUP BY p ORDER BY p LIMIT 3",
+            )
+            .unwrap();
+        assert!(plan.contains("Scan people"), "{plan}");
+        assert!(plan.contains("Pushdown filter: (city = 'A')"), "{plan}");
+        assert!(plan.contains("Residual filter: (PREDICT(m) = 'high')"), "{plan}");
+        assert!(plan.contains("Predict: m"), "{plan}");
+        assert!(plan.contains("Aggregate: GROUP BY [p]"), "{plan}");
+        assert!(plan.contains("Limit: 3"), "{plan}");
+        // With pushdown disabled the whole WHERE becomes residual.
+        let plan = exec
+            .with_pushdown(false)
+            .explain("SELECT age FROM people WHERE city = 'A'")
+            .unwrap();
+        assert!(!plan.contains("Pushdown filter"), "{plan}");
+        assert!(plan.contains("Residual filter"), "{plan}");
+    }
+
+    #[test]
+    fn in_between_execution() {
+        let t = run("SELECT age FROM people WHERE age IN (30, 50) ORDER BY age");
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.get(1, 0), Some(Value::Int(50)));
+        let t = run("SELECT age FROM people WHERE age BETWEEN 35 AND 55 ORDER BY age");
+        assert_eq!(t.num_rows(), 2); // 40 and 50
+        let t = run("SELECT age FROM people WHERE city NOT IN ('A') ORDER BY age");
+        assert_eq!(t.num_rows(), 2); // city B rows
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let t = run(
+            "SELECT city, COUNT(*) AS n FROM people GROUP BY city HAVING COUNT(*) > 2 ORDER BY city",
+        );
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.get(0, 0), Some(Value::from("A")));
+        assert_eq!(t.get(0, 1), Some(Value::Int(3)));
+        // HAVING on an aggregate not in the SELECT list.
+        let t = run("SELECT city FROM people GROUP BY city HAVING AVG(age) < 40 ORDER BY city");
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.get(0, 0), Some(Value::from("B")));
+        // HAVING that keeps nothing.
+        let t = run("SELECT city FROM people GROUP BY city HAVING COUNT(*) > 99");
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let t = run("SELECT age FROM people ORDER BY age DESC LIMIT 2");
+        assert_eq!(t.get(0, 0), Some(Value::Int(60)));
+        assert_eq!(t.get(1, 0), Some(Value::Int(50)));
+    }
+
+    #[test]
+    fn arithmetic_in_projection() {
+        let t = run("SELECT AVG(age) * 2 AS double_avg FROM people");
+        assert_eq!(t.get(0, 0).unwrap().as_f64(), Some(80.0));
+    }
+
+    #[test]
+    fn three_valued_logic_with_nulls() {
+        let mut c = Catalog::new();
+        c.add_table("t", Table::from_csv_str("a,b\n1,\n2,5\n").unwrap());
+        let out = Executor::new(&c).run("SELECT a FROM t WHERE b > 1").unwrap().table;
+        // NULL > 1 is NULL → filtered out.
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.get(0, 0), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn errors() {
+        let c = catalog();
+        let e = Executor::new(&c);
+        assert!(matches!(e.run("SELECT a FROM missing"), Err(SqlError::UnknownTable(_))));
+        assert!(matches!(
+            e.run("SELECT nope FROM people"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            e.run("SELECT PREDICT(ghost) FROM people"),
+            Err(SqlError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            e.run("SELECT age FROM people WHERE age + 1"),
+            Err(SqlError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn predict_with_model() {
+        let train = people();
+        let model = NaiveBayes::fit(&train, 2); // income from age+city
+        let mut c = catalog();
+        c.add_model("income_model", Arc::new(model));
+        let exec = Executor::new(&c);
+        let out = exec
+            .run("SELECT PREDICT(income_model) AS income_pred, COUNT(*) AS n FROM people GROUP BY income_pred ORDER BY income_pred")
+            .unwrap();
+        assert_eq!(out.stats.predictions, 5);
+        let total: i64 =
+            (0..out.table.num_rows()).map(|i| out.table.get(i, 1).unwrap().as_i64().unwrap()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn pushdown_reduces_inference() {
+        let train = people();
+        let model = NaiveBayes::fit(&train, 2);
+        let mut c = catalog();
+        c.add_model("m", Arc::new(model));
+        let sql = "SELECT PREDICT(m) AS p FROM people WHERE city = 'A'";
+        let with = Executor::new(&c).run(sql).unwrap();
+        let without = Executor::new(&c).with_pushdown(false).run(sql).unwrap();
+        assert_eq!(with.stats.predictions, 3, "pushdown must skip city B rows");
+        assert_eq!(without.stats.predictions, 5);
+        assert_eq!(with.table.num_rows(), without.table.num_rows());
+        assert_eq!(with.stats.rows_after_pushdown, 3);
+    }
+
+    #[test]
+    fn guardrail_rectifies_before_inference() {
+        // Train guardrail + model on clean data where city determines income.
+        let mut csv = String::from("city,income\n");
+        for _ in 0..100 {
+            csv.push_str("A,high\nB,low\n");
+        }
+        let clean = Table::from_csv_str(&csv).unwrap();
+        let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+        let model = NaiveBayes::fit(&clean, 1);
+        // Dirty inference data: income column corrupted (model input is city
+        // + income? — use a model over city only by predicting income).
+        let mut c = Catalog::new();
+        c.add_table(
+            "d",
+            Table::from_csv_str("city,income\nA,low\nB,low\n").unwrap(),
+        );
+        c.add_model("m", Arc::new(model));
+        let exec = Executor::new(&c).with_guardrail(&guard, ErrorScheme::Rectify);
+        let out = exec.run("SELECT PREDICT(m) AS p, city FROM d ORDER BY city").unwrap();
+        assert!(out.stats.violations > 0, "corrupted row must be flagged");
+        assert!(out.stats.guardrail_nanos > 0);
+        assert_eq!(out.table.num_rows(), 2);
+    }
+
+    #[test]
+    fn guardrail_raise_aborts_query() {
+        let mut csv = String::from("city,income\n");
+        for _ in 0..100 {
+            csv.push_str("A,high\nB,low\n");
+        }
+        let clean = Table::from_csv_str(&csv).unwrap();
+        let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+        let model = NaiveBayes::fit(&clean, 1);
+        let mut c = Catalog::new();
+        c.add_table("d", Table::from_csv_str("city,income\nA,low\n").unwrap());
+        c.add_model("m", Arc::new(model));
+        let exec = Executor::new(&c).with_guardrail(&guard, ErrorScheme::Raise);
+        let out = exec.run("SELECT PREDICT(m) AS p FROM d");
+        assert!(matches!(out, Err(SqlError::GuardrailRaise { .. })), "{out:?}");
+    }
+
+    #[test]
+    fn guardrail_only_intercepts_ml_queries() {
+        // No PREDICT in the query → no vetting, no guardrail time, even with
+        // a guardrail installed (the interception point is the model input).
+        let mut csv = String::from("city,income\n");
+        for _ in 0..50 {
+            csv.push_str("A,high\nB,low\n");
+        }
+        let clean = Table::from_csv_str(&csv).unwrap();
+        let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+        let mut c = Catalog::new();
+        c.add_table("d", Table::from_csv_str("city,income\nA,low\n").unwrap());
+        let out = Executor::new(&c)
+            .with_guardrail(&guard, ErrorScheme::Raise)
+            .run("SELECT city FROM d")
+            .unwrap();
+        assert_eq!(out.stats.guardrail_nanos, 0);
+        assert_eq!(out.stats.violations, 0);
+        assert_eq!(out.table.num_rows(), 1);
+    }
+
+    #[test]
+    fn empty_result_keeps_schema() {
+        let t = run("SELECT age FROM people WHERE age > 1000");
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.schema().names(), vec!["age"]);
+    }
+}

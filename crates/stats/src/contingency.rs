@@ -1,0 +1,216 @@
+//! Contingency tables over dictionary codes.
+
+use std::collections::HashMap;
+
+/// A two-way contingency table of counts `n[x][y]`, optionally one per
+/// stratum of conditioning values.
+///
+/// Built directly from dictionary-code slices, so constructing the table is a
+/// single pass with integer keys — the hot path of every conditional
+/// independence test in the PC algorithm.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    /// `counts[x * ny + y]`.
+    counts: Vec<u64>,
+    nx: usize,
+    ny: usize,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Counts joint occurrences of `(x[i], y[i])`. `nx`/`ny` are the code
+    /// cardinalities (codes must be `< nx`/`< ny` respectively).
+    pub fn from_codes(x: &[u32], y: &[u32], nx: usize, ny: usize) -> Self {
+        assert_eq!(x.len(), y.len(), "code slices must be aligned");
+        let mut counts = vec![0u64; nx * ny];
+        for (&a, &b) in x.iter().zip(y) {
+            counts[a as usize * ny + b as usize] += 1;
+        }
+        Self { counts, nx, ny, total: x.len() as u64 }
+    }
+
+    /// Builds one table per configuration of the conditioning codes `z`.
+    ///
+    /// `z` holds, per row, a single combined stratum key (the caller packs the
+    /// conditioning attributes into one `u64`). Only observed strata are
+    /// materialized, which is what keeps high-arity conditioning tractable on
+    /// sparse data.
+    pub fn stratified(x: &[u32], y: &[u32], z: &[u64], nx: usize, ny: usize) -> Vec<Self> {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), z.len());
+        let mut strata: HashMap<u64, ContingencyTable> = HashMap::new();
+        for i in 0..x.len() {
+            let table = strata
+                .entry(z[i])
+                .or_insert_with(|| ContingencyTable { counts: vec![0; nx * ny], nx, ny, total: 0 });
+            table.counts[x[i] as usize * ny + y[i] as usize] += 1;
+            table.total += 1;
+        }
+        let mut out: Vec<(u64, ContingencyTable)> = strata.into_iter().collect();
+        out.sort_by_key(|(k, _)| *k); // deterministic order
+        out.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Count in cell `(x, y)`.
+    pub fn count(&self, x: usize, y: usize) -> u64 {
+        self.counts[x * self.ny + y]
+    }
+
+    /// Row marginal `n[x][·]`.
+    pub fn row_marginal(&self, x: usize) -> u64 {
+        (0..self.ny).map(|y| self.count(x, y)).sum()
+    }
+
+    /// Column marginal `n[·][y]`.
+    pub fn col_marginal(&self, y: usize) -> u64 {
+        (0..self.nx).map(|x| self.count(x, y)).sum()
+    }
+
+    /// Total observation count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cardinalities `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of rows (x values) with a nonzero marginal.
+    pub fn nonzero_rows(&self) -> usize {
+        (0..self.nx).filter(|&x| self.row_marginal(x) > 0).count()
+    }
+
+    /// Number of columns (y values) with a nonzero marginal.
+    pub fn nonzero_cols(&self) -> usize {
+        (0..self.ny).filter(|&y| self.col_marginal(y) > 0).count()
+    }
+
+    /// G² (likelihood-ratio) statistic of this table:
+    /// `2 Σ O · ln(O / E)` with `E = row·col/total`. Zero cells contribute 0.
+    pub fn g2(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        let mut g2 = 0.0;
+        for x in 0..self.nx {
+            let rm = self.row_marginal(x);
+            if rm == 0 {
+                continue;
+            }
+            for y in 0..self.ny {
+                let o = self.count(x, y);
+                if o == 0 {
+                    continue;
+                }
+                let cm = self.col_marginal(y);
+                let e = (rm as f64) * (cm as f64) / n;
+                g2 += 2.0 * (o as f64) * ((o as f64) / e).ln();
+            }
+        }
+        g2.max(0.0)
+    }
+
+    /// Pearson's X² statistic. Cells with zero expected count are skipped.
+    pub fn pearson_x2(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        let mut x2 = 0.0;
+        for x in 0..self.nx {
+            let rm = self.row_marginal(x) as f64;
+            if rm == 0.0 {
+                continue;
+            }
+            for y in 0..self.ny {
+                let cm = self.col_marginal(y) as f64;
+                let e = rm * cm / n;
+                if e == 0.0 {
+                    continue;
+                }
+                let o = self.count(x, y) as f64;
+                x2 += (o - e) * (o - e) / e;
+            }
+        }
+        x2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_marginals() {
+        let x = [0u32, 0, 1, 1, 1];
+        let y = [0u32, 1, 0, 0, 1];
+        let t = ContingencyTable::from_codes(&x, &y, 2, 2);
+        assert_eq!(t.count(0, 0), 1);
+        assert_eq!(t.count(1, 0), 2);
+        assert_eq!(t.row_marginal(1), 3);
+        assert_eq!(t.col_marginal(1), 2);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.shape(), (2, 2));
+    }
+
+    #[test]
+    fn g2_zero_for_perfectly_independent() {
+        // Uniform joint: X and Y independent, G² = 0 exactly.
+        let x = [0u32, 0, 1, 1];
+        let y = [0u32, 1, 0, 1];
+        let t = ContingencyTable::from_codes(&x, &y, 2, 2);
+        assert!(t.g2().abs() < 1e-12);
+        assert!(t.pearson_x2().abs() < 1e-12);
+    }
+
+    #[test]
+    fn g2_large_for_functional_dependence() {
+        // Y = X: strongest possible dependence.
+        let x: Vec<u32> = (0..100).map(|i| (i % 2) as u32).collect();
+        let y = x.clone();
+        let t = ContingencyTable::from_codes(&x, &y, 2, 2);
+        // G² for a perfect 2x2 dependence with n=100 is 2*100*ln(2).
+        let expected = 2.0 * 100.0 * (2.0f64).ln();
+        assert!((t.g2() - expected).abs() < 1e-9, "{}", t.g2());
+        assert!((t.pearson_x2() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn g2_reference_value() {
+        // 2x2 table [[10, 20], [30, 5]]; scipy G-test statistic.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (cnt, (a, b)) in [(10, (0, 0)), (20, (0, 1)), (30, (1, 0)), (5, (1, 1))] {
+            for _ in 0..cnt {
+                x.push(a as u32);
+                y.push(b as u32);
+            }
+        }
+        let t = ContingencyTable::from_codes(&x, &y, 2, 2);
+        // Hand-computed: E = [[18.4615, 11.5385], [21.5385, 13.4615]],
+        // G² = 2·Σ O·ln(O/E) = 19.7172…
+        assert!((t.g2() - 19.717_205_136_030_48).abs() < 1e-10, "{}", t.g2());
+    }
+
+    #[test]
+    fn stratified_splits_by_key() {
+        let x = [0u32, 1, 0, 1];
+        let y = [0u32, 1, 1, 0];
+        let z = [7u64, 7, 9, 9];
+        let tables = ContingencyTable::stratified(&x, &y, &z, 2, 2);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].total(), 2);
+        assert_eq!(tables[0].count(0, 0), 1);
+        assert_eq!(tables[1].count(0, 1), 1);
+    }
+
+    #[test]
+    fn empty_table_statistics() {
+        let t = ContingencyTable::from_codes(&[], &[], 2, 2);
+        assert_eq!(t.g2(), 0.0);
+        assert_eq!(t.pearson_x2(), 0.0);
+        assert_eq!(t.nonzero_rows(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Spearman rank correlation.
+
+use crate::special::student_t_two_sided;
+
+/// Result of a Spearman rank-correlation test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpearmanResult {
+    /// The rank correlation coefficient ρ.
+    pub rho: f64,
+    /// Two-sided p-value from the Student-t approximation.
+    pub p_value: f64,
+}
+
+/// Spearman's ρ between two samples, with tie-aware fractional ranking and a
+/// Student-t p-value (`t = ρ·√((n−2)/(1−ρ²))`, df = n−2) — the same
+/// approximation scipy uses for n beyond the exact tables.
+///
+/// Used to reproduce the Table 1 claim that error counts and mis-prediction
+/// counts correlate at ρ ≈ 0.947.
+pub fn spearman(x: &[f64], y: &[f64]) -> SpearmanResult {
+    assert_eq!(x.len(), y.len(), "samples must be aligned");
+    let n = x.len();
+    assert!(n >= 3, "spearman needs at least 3 observations");
+    let rx = fractional_ranks(x);
+    let ry = fractional_ranks(y);
+    let rho = pearson(&rx, &ry);
+    let p_value = if rho.abs() >= 1.0 {
+        0.0
+    } else {
+        let df = (n - 2) as f64;
+        let t = rho * (df / (1.0 - rho * rho)).sqrt();
+        student_t_two_sided(t, df)
+    };
+    SpearmanResult { rho, p_value }
+}
+
+/// Fractional (average) ranks, 1-based; ties share the mean of their ranks.
+fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // items i..=j are tied; assign mean rank
+        let mean_rank = ((i + 1 + j + 1) as f64) / 2.0;
+        for k in i..=j {
+            ranks[order[k]] = mean_rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson product-moment correlation.
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [10.0, 20.0, 25.0, 40.0, 100.0];
+        let r = spearman(&x, &y);
+        assert!((r.rho - 1.0).abs() < 1e-12);
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn perfect_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [9.0, 7.0, 5.0, 1.0];
+        let r = spearman(&x, &y);
+        assert!((r.rho + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scipy_reference() {
+        // scipy.stats.spearmanr([1,2,3,4,5],[5,6,7,8,7]) -> rho=0.8207, p=0.0886
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0, 6.0, 7.0, 8.0, 7.0];
+        let r = spearman(&x, &y);
+        assert!((r.rho - 0.820_782_681_668_384).abs() < 1e-9, "rho = {}", r.rho);
+        assert!((r.p_value - 0.088_586_510_597_579_5).abs() < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ties_use_fractional_ranks() {
+        let ranks = fractional_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn constant_input_gives_zero() {
+        let r = spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(r.rho, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_observations() {
+        spearman(&[1.0, 2.0], &[3.0, 4.0]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Special functions: log-gamma, regularized incomplete gamma and beta.
+//!
+//! Implementations follow the classic Lanczos / series / continued-fraction
+//! formulations (Numerical Recipes, 3rd ed., §6), which are accurate to
+//! ~1e-12 over the parameter ranges our tests exercise. These are the only
+//! transcendental building blocks needed for chi-squared and Student-t
+//! p-values.
+
+/// Natural log of the gamma function, via the Lanczos approximation (g = 7,
+/// n = 9 coefficients). Valid for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// the complement otherwise.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    assert!(x >= 0.0, "gamma_q requires x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+const MAX_ITER: usize = 500;
+const EPS: f64 = 1e-14;
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    // Lentz's algorithm for the continued-fraction representation of Q(a, x).
+    let fpmin = f64::MIN_POSITIVE / EPS;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / fpmin;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < fpmin {
+            d = fpmin;
+        }
+        c = b + an / c;
+        if c.abs() < fpmin {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    ((-x + a * x.ln() - ln_gamma(a)).exp() * h).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Continued-fraction evaluation with the symmetry transformation for
+/// convergence, used for Student-t tail probabilities in [`crate::rank`].
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc requires a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (front * beta_cf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - front * beta_cf(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    let fpmin = f64::MIN_POSITIVE / EPS;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < fpmin {
+        d = fpmin;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < fpmin {
+            d = fpmin;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < fpmin {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < fpmin {
+            d = fpmin;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < fpmin {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-sided p-value for a Student-t statistic with `df` degrees of freedom.
+pub fn student_t_two_sided(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let x = df / (df + t * t);
+    beta_inc(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), (24.0f64).ln(), 1e-10); // Γ(5) = 4!
+        close(ln_gamma(0.5), (std::f64::consts::PI).sqrt().ln(), 1e-10);
+        // Γ(10.5) = 9.5·8.5·…·0.5·√π; ln of that product is 13.9406252…
+        close(ln_gamma(10.5), 13.940_625_219_403_763, 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_q_complement() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 9.0), (10.0, 3.0)] {
+            close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // scipy.special.gammainc reference values.
+        close(gamma_p(1.0, 1.0), 0.632_120_558_828_557_7, 1e-12);
+        close(gamma_p(2.5, 2.0), 0.450_584_048_6, 1e-8);
+        close(gamma_p(0.5, 0.5), 0.682_689_492_137_085_9, 1e-10);
+    }
+
+    #[test]
+    fn gamma_edge_cases() {
+        assert_eq!(gamma_p(3.0, 0.0), 0.0);
+        assert_eq!(gamma_q(3.0, 0.0), 1.0);
+        close(gamma_p(1.0, 700.0), 1.0, 1e-12);
+        close(gamma_q(1.0, 700.0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn beta_inc_known_values() {
+        // scipy.special.betainc reference values.
+        close(beta_inc(2.0, 3.0, 0.5), 0.687_5, 1e-12);
+        close(beta_inc(0.5, 0.5, 0.25), 0.333_333_333_333_333_3, 1e-9);
+        close(beta_inc(5.0, 1.0, 0.8), 0.327_68, 1e-10); // x^5
+    }
+
+    #[test]
+    fn beta_inc_symmetry() {
+        for &(a, b, x) in &[(1.5, 2.5, 0.3), (4.0, 4.0, 0.7), (0.5, 3.0, 0.9)] {
+            close(beta_inc(a, b, x), 1.0 - beta_inc(b, a, 1.0 - x), 1e-10);
+        }
+    }
+
+    #[test]
+    fn student_t_reference() {
+        // scipy.stats.t.sf(2.0, 10) * 2 ≈ 0.0733880
+        close(student_t_two_sided(2.0, 10.0), 0.073_388_0, 1e-6);
+        close(student_t_two_sided(0.0, 5.0), 1.0, 1e-12);
+        assert!(student_t_two_sided(50.0, 10.0) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Statement-level concretization cache (§7, optimization 2).
+//!
+//! Alg. 2 synthesizes one program per DAG in the MEC, but different DAGs
+//! share most parent sets — re-filling `GIVEN Pa ON a` for every DAG would
+//! repeat the grouping scan. The cache keys on `(given, on)` and memoizes the
+//! fill result (including the `⊥` outcome), and is shared across worker
+//! threads when parallel synthesis is enabled.
+
+use crate::fill::FilledStatement;
+use crate::sketch::StatementSketch;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Hit/miss counters for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that required a fill.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 for an unused cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memo table from statement sketches to fill outcomes.
+#[derive(Debug, Default)]
+pub struct StatementCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<StatementSketch, Option<FilledStatement>>,
+    stats: CacheStats,
+}
+
+impl StatementCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized fill for `sketch`, computing it with `fill` on a
+    /// miss. The `Option` is the fill outcome (`None` = `⊥`), memoized in
+    /// both cases.
+    pub fn get_or_fill<F>(&self, sketch: &StatementSketch, fill: F) -> Option<FilledStatement>
+    where
+        F: FnOnce() -> Option<FilledStatement>,
+    {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(hit) = inner.map.get(sketch).cloned() {
+                inner.stats.hits += 1;
+                return hit;
+            }
+            inner.stats.misses += 1;
+        }
+        // Fill outside the lock: concurrent misses on the same key may
+        // duplicate work but never block each other on a long scan.
+        let result = fill();
+        let mut inner = self.inner.lock();
+        inner.map.entry(sketch.clone()).or_insert_with(|| result.clone());
+        result
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of memoized sketches.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// `true` when nothing has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill::fill_statement_sketch;
+    use guardrail_table::Table;
+
+    fn table() -> Table {
+        Table::from_csv_str("a,b\n0,x\n0,x\n1,y\n").unwrap()
+    }
+
+    #[test]
+    fn memoizes_fills_and_bottoms() {
+        let t = table();
+        let cache = StatementCache::new();
+        let sketch = StatementSketch::new(vec![0], 1);
+
+        let first = cache.get_or_fill(&sketch, || fill_statement_sketch(&t, &sketch, 0.0));
+        assert!(first.is_some());
+        let mut called = false;
+        let second = cache.get_or_fill(&sketch, || {
+            called = true;
+            None
+        });
+        assert!(!called, "second lookup must hit the cache");
+        assert_eq!(second.unwrap().statement, first.unwrap().statement);
+
+        // ⊥ results are memoized too.
+        let noisy = StatementSketch::new(vec![1], 0);
+        let bottom = cache.get_or_fill(&noisy, || None);
+        assert!(bottom.is_none());
+        let mut called = false;
+        cache.get_or_fill(&noisy, || {
+            called = true;
+            None
+        });
+        assert!(!called);
+
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { hits: 2, misses: 2 });
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_sketches_do_not_collide() {
+        let cache = StatementCache::new();
+        let a = StatementSketch::new(vec![0], 1);
+        let b = StatementSketch::new(vec![0, 2], 1);
+        cache.get_or_fill(&a, || None);
+        let mut called = false;
+        cache.get_or_fill(&b, || {
+            called = true;
+            None
+        });
+        assert!(called, "different given-set is a different key");
+    }
+
+    #[test]
+    fn empty_cache_stats() {
+        let cache = StatementCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Synthesis configuration.
+
+use guardrail_graph::EnumerateLimit;
+use guardrail_pgm::LearnConfig;
+
+/// End-to-end synthesis parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisConfig {
+    /// Branch noise tolerance ε (Eqn. 3). The paper recommends 0.01–0.05
+    /// (Fig. 7); 0.02 is our default.
+    pub epsilon: f64,
+    /// Structure-learning parameters (sampler, α, PC depth).
+    pub learn: LearnConfig,
+    /// MEC enumeration budget (Alg. 2's "maximal enumeration of DAGs").
+    pub enumerate: EnumerateLimit,
+    /// Share statement fills across DAGs (§7's statement-level cache).
+    pub use_cache: bool,
+    /// Synthesize per-DAG programs on worker threads.
+    pub parallel: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.02,
+            learn: LearnConfig::default(),
+            enumerate: EnumerateLimit::default(),
+            use_cache: true,
+            parallel: true,
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// Overrides ε.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0,1)");
+        self.epsilon = epsilon;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_recommendations() {
+        let c = SynthesisConfig::default();
+        assert!((0.01..=0.05).contains(&c.epsilon));
+        assert!(c.use_cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn epsilon_bounds() {
+        SynthesisConfig::default().with_epsilon(1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Alg. 2: optimal program synthesis from the MEC.
+//!
+//! ```text
+//! for each DAG G in the (budgeted) MEC enumeration:
+//!     sketch  ← parent sets of G           (ProgramSketch::from_dag)
+//!     program ← fill sketch per Alg. 1     (deduplicated via the cache)
+//! return the program with the highest coverage
+//! ```
+//!
+//! Per-DAG fills share the statement cache (§7) because DAGs in one MEC
+//! differ only in reversible-edge orientation — most parent sets repeat.
+//! With `parallel` enabled the per-DAG work is spread over worker threads
+//! (crossbeam scoped threads; the cache is `Sync`).
+
+use crate::cache::{CacheStats, StatementCache};
+use crate::config::SynthesisConfig;
+use crate::fill::{fill_statement_sketch, filled_coverage, FilledStatement};
+use crate::sketch::ProgramSketch;
+use guardrail_dsl::ast::Program;
+use guardrail_graph::{enumerate_extensions, Dag, Pdag};
+use guardrail_pgm::learn_cpdag;
+use guardrail_table::Table;
+
+/// Result of an end-to-end synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// The max-coverage ε-valid program `p*`.
+    pub program: Program,
+    /// Coverage of `p*` (average statement coverage).
+    pub coverage: f64,
+    /// The learned CPDAG.
+    pub cpdag: Pdag,
+    /// Number of DAGs enumerated from the MEC.
+    pub mec_size: usize,
+    /// Whether enumeration hit the budget.
+    pub truncated: bool,
+    /// The DAG whose sketch produced `p*` (`None` when the MEC is empty).
+    pub chosen_dag: Option<Dag>,
+    /// Statement-cache counters for the run.
+    pub cache_stats: CacheStats,
+    /// Per-statement fill statistics of the winning program.
+    pub statements: Vec<FilledStatement>,
+}
+
+/// Learns a CPDAG from `table` and synthesizes the optimal program (sketch
+/// learning + Alg. 2).
+pub fn synthesize(table: &Table, config: &SynthesisConfig) -> SynthesisOutcome {
+    let cpdag = learn_cpdag(table, &config.learn);
+    synthesize_from_cpdag(table, &cpdag, config)
+}
+
+/// Alg. 2 proper: synthesis given an already-learned CPDAG.
+pub fn synthesize_from_cpdag(
+    table: &Table,
+    cpdag: &Pdag,
+    config: &SynthesisConfig,
+) -> SynthesisOutcome {
+    let (dags, truncated) = enumerate_extensions(cpdag, config.enumerate);
+    let cache = StatementCache::new();
+
+    let fill_dag = |dag: &Dag| -> (f64, Vec<FilledStatement>) {
+        let sketch = ProgramSketch::from_dag(dag);
+        let mut filled = Vec::with_capacity(sketch.len());
+        for s in &sketch.statements {
+            let outcome = if config.use_cache {
+                cache.get_or_fill(s, || fill_statement_sketch(table, s, config.epsilon))
+            } else {
+                fill_statement_sketch(table, s, config.epsilon)
+            };
+            if let Some(f) = outcome {
+                filled.push(f);
+            }
+        }
+        (filled_coverage(&filled), filled)
+    };
+
+    let results: Vec<(f64, Vec<FilledStatement>)> = if config.parallel && dags.len() > 1 {
+        parallel_map(&dags, &fill_dag)
+    } else {
+        dags.iter().map(|d| fill_dag(d)).collect()
+    };
+
+    // argmax coverage; ties break toward more statements (a program that
+    // constrains more attributes at equal coverage has strictly more
+    // discriminative power), then toward the first in enumeration order.
+    let best = results
+        .iter()
+        .enumerate()
+        .max_by(|(ia, (ca, fa)), (ib, (cb, fb))| {
+            ca.partial_cmp(cb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(fa.len().cmp(&fb.len()))
+                .then(ib.cmp(ia))
+        })
+        .map(|(i, _)| i);
+
+    let (coverage, statements, chosen_dag) = match best {
+        Some(i) => {
+            let (c, f) = results[i].clone();
+            (c, f, Some(dags[i].clone()))
+        }
+        None => (0.0, Vec::new(), None),
+    };
+    let program = Program { statements: statements.iter().map(|f| f.statement.clone()).collect() };
+    SynthesisOutcome {
+        program,
+        coverage,
+        cpdag: cpdag.clone(),
+        mec_size: dags.len(),
+        truncated,
+        chosen_dag,
+        cache_stats: cache.stats(),
+        statements,
+    }
+}
+
+/// Maps `f` over `items` on up to `available_parallelism` scoped threads,
+/// preserving order.
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: &(impl Fn(&T) -> R + Sync)) -> Vec<R> {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = workers.min(items.len()).max(1);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("synthesis worker panicked");
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardrail_datasets::{cancer_network, random_sem, RandomSemConfig};
+    use guardrail_pgm::{LearnConfig, Sampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_table(rows: usize) -> Table {
+        // zip → city → state with tiny noise, via a hand-built SEM.
+        use guardrail_datasets::{DiscreteSem, NodeFunction};
+        use guardrail_graph::Dag;
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let sem = DiscreteSem::new(
+            dag,
+            vec![6, 3, 2],
+            vec!["zip".into(), "city".into(), "state".into()],
+            vec![
+                NodeFunction::Root { probs: vec![1.0 / 6.0; 6] },
+                NodeFunction::Deterministic { table: vec![0, 0, 1, 1, 2, 2], noise: 0.01 },
+                NodeFunction::Deterministic { table: vec![0, 0, 1], noise: 0.01 },
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        sem.sample(rows, &mut rng)
+    }
+
+    fn config() -> SynthesisConfig {
+        SynthesisConfig {
+            learn: LearnConfig { aux_pairs: 20_000, ..LearnConfig::default() },
+            ..SynthesisConfig::default()
+        }
+    }
+
+    #[test]
+    fn synthesizes_chain_structure() {
+        let table = chain_table(4000);
+        let outcome = synthesize(&table, &config());
+        assert!(!outcome.program.statements.is_empty(), "no program synthesized");
+        assert!(outcome.coverage > 0.9, "coverage = {}", outcome.coverage);
+        // The winning program's statements must reflect the chain: city is
+        // explained by zip (or vice versa), state by city — never state
+        // directly from zip (GNT would be violated).
+        for s in &outcome.program.statements {
+            assert!(
+                !(s.given == vec!["zip".to_string()] && s.on == "state"),
+                "non-succinct statement GIVEN zip ON state synthesized"
+            );
+        }
+        assert!(outcome.mec_size >= 1);
+    }
+
+    #[test]
+    fn detects_injected_errors_end_to_end() {
+        let table = chain_table(3000);
+        let outcome = synthesize(&table, &config());
+        let mut dirty = table.clone();
+        // Corrupt city on row 7.
+        let bad = dirty.get(7, 1).map(|v| match v {
+            guardrail_table::Value::Int(i) => guardrail_table::Value::Int((i + 1) % 3),
+            other => other,
+        });
+        dirty.set(7, 1, bad.unwrap()).unwrap();
+        let compiled = outcome.program.compile_for(&dirty).unwrap();
+        let rows = compiled.violating_rows(&dirty);
+        assert!(rows.contains(&7), "corrupted row not flagged: {rows:?}");
+    }
+
+    #[test]
+    fn cache_is_effective_across_mec() {
+        let table = chain_table(2000);
+        let outcome = synthesize(&table, &config());
+        if outcome.mec_size > 1 {
+            assert!(outcome.cache_stats.hits > 0, "MEC of size {} produced no cache hits", outcome.mec_size);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let table = chain_table(1500);
+        let seq = synthesize(&table, &SynthesisConfig { parallel: false, ..config() });
+        let par = synthesize(&table, &SynthesisConfig { parallel: true, ..config() });
+        assert_eq!(seq.program, par.program);
+        assert_eq!(seq.coverage, par.coverage);
+        let nocache = synthesize(&table, &SynthesisConfig { use_cache: false, ..config() });
+        assert_eq!(seq.program, nocache.program);
+    }
+
+    #[test]
+    fn cancer_network_synthesis() {
+        let sem = cancer_network(0.97);
+        let mut rng = StdRng::seed_from_u64(9);
+        let table = sem.sample(6000, &mut rng);
+        let outcome = synthesize(&table, &config());
+        // The near-deterministic symptom links (cancer → xray, cancer → dysp)
+        // should be discovered.
+        let constrained: Vec<&str> =
+            outcome.program.statements.iter().map(|s| s.on.as_str()).collect();
+        assert!(
+            constrained.contains(&"xray") || constrained.contains(&"dysp"),
+            "no symptom constraint found; got {constrained:?}"
+        );
+    }
+
+    #[test]
+    fn random_sem_synthesis_is_deterministic() {
+        let sem = random_sem(&RandomSemConfig { attrs: 6, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(3);
+        let table = sem.sample(2000, &mut rng);
+        let a = synthesize(&table, &config());
+        let b = synthesize(&table, &config());
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn identity_sampler_option_works() {
+        let table = chain_table(3000);
+        let cfg = SynthesisConfig {
+            learn: LearnConfig { sampler: Sampler::Identity, ..LearnConfig::default() },
+            ..SynthesisConfig::default()
+        };
+        let outcome = synthesize(&table, &cfg);
+        // Low-cardinality chain is learnable even on raw data.
+        assert!(outcome.coverage > 0.5, "coverage = {}", outcome.coverage);
+    }
+}

@@ -1,0 +1,160 @@
+//! Statistical LNT / GNT checks (Defs. 4.1 and 4.2).
+//!
+//! A statement sketch is **locally non-trivial** when its dependent attribute
+//! is statistically dependent on its determinant set; a program sketch is
+//! **globally non-trivial** when every statement stays non-trivial after
+//! conditioning on the determinant attributes of the other statements —
+//! i.e. each statement contributes information the rest of the program does
+//! not already carry (ruling out `Stmt₄ = GIVEN PostalCode ON State` from
+//! Example 3.1/4.1).
+//!
+//! Theorem 4.1 guarantees sketches read off a faithful PGM are GNT, so the
+//! synthesis pipeline never *needs* these checks; they exist as a validation
+//! surface (tests assert the theorem empirically) and for auditing
+//! hand-written sketches.
+
+use crate::sketch::{ProgramSketch, StatementSketch};
+use guardrail_pgm::{DataOracle, EncodedData, IndependenceOracle};
+use guardrail_graph::NodeSet;
+
+/// Local non-triviality (Def. 4.1): `a_j ⫫̸ a_k` for the determinant set
+/// `a_k`, judged by a G² test at level `alpha`.
+///
+/// Multi-attribute determinant sets are tested jointly by conditioning-free
+/// dependence against each member: the sketch is LNT when the dependent is
+/// marginally dependent on at least one determinant (a necessary condition
+/// that is also sufficient under faithfulness, since an edge implies
+/// dependence).
+pub fn is_locally_nontrivial(data: &EncodedData, sketch: &StatementSketch, alpha: f64) -> bool {
+    let oracle = DataOracle::new(data).with_alpha(alpha);
+    sketch.given.iter().any(|&k| !oracle.independent(sketch.on, k, NodeSet::EMPTY))
+}
+
+/// Global non-triviality (Def. 4.2), statistical reading: for every
+/// statement `s` and every other statement `s'`, the dependence of `s` must
+/// survive conditioning on `s'`'s determinant set
+/// (`a_j ⫫̸ a_k | a_z`, Theorem 4.1's reformulation).
+///
+/// Conditioning sets are capped at `max_cond` attributes (sparse data cannot
+/// support deeper tests); untestably sparse conditionings count in the
+/// sketch's favor, mirroring the PC oracle's conservatism.
+pub fn is_globally_nontrivial(
+    data: &EncodedData,
+    sketch: &ProgramSketch,
+    alpha: f64,
+    max_cond: usize,
+) -> bool {
+    if !sketch.statements.iter().all(|s| is_locally_nontrivial(data, s, alpha)) {
+        return false;
+    }
+    let oracle = DataOracle::new(data).with_alpha(alpha);
+    for (i, s) in sketch.statements.iter().enumerate() {
+        for (j, other) in sketch.statements.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // a_z: the other statement's determinant attributes, minus any
+            // attribute of s itself.
+            let mut z = NodeSet::EMPTY;
+            for &a in &other.given {
+                if a != s.on && !s.given.contains(&a) {
+                    z.insert(a);
+                }
+            }
+            if z.is_empty() || z.len() > max_cond {
+                continue;
+            }
+            let survives =
+                s.given.iter().any(|&k| !oracle.independent(s.on, k, z));
+            if !survives {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    /// zip → city → state chain data (codes), with light noise.
+    fn chain_data(n: usize) -> EncodedData {
+        let mut rng = xorshift(77);
+        let mut zip = Vec::new();
+        let mut city = Vec::new();
+        let mut state = Vec::new();
+        for _ in 0..n {
+            let z = (rng() % 6) as u32;
+            let c = if rng() % 50 == 0 { (rng() % 3) as u32 } else { z / 2 };
+            let s = if rng() % 50 == 0 { (rng() % 2) as u32 } else { u32::from(c == 2) };
+            zip.push(z);
+            city.push(c);
+            state.push(s);
+        }
+        EncodedData::from_parts(
+            vec![zip, city, state],
+            vec![6, 3, 2],
+            vec!["zip".into(), "city".into(), "state".into()],
+        )
+    }
+
+    #[test]
+    fn lnt_detects_dependence_and_independence() {
+        let data = chain_data(5000);
+        assert!(is_locally_nontrivial(&data, &StatementSketch::new(vec![0], 1), 0.05));
+        assert!(is_locally_nontrivial(&data, &StatementSketch::new(vec![1], 2), 0.05));
+        // zip is *marginally* dependent on state (through city), so that
+        // sketch is LNT too — LNT alone cannot rule it out…
+        assert!(is_locally_nontrivial(&data, &StatementSketch::new(vec![0], 2), 0.05));
+    }
+
+    #[test]
+    fn gnt_rules_out_redundant_statement() {
+        // …but GNT does: GIVEN zip ON state vanishes given city (Example 4.1).
+        let data = chain_data(8000);
+        let succinct = ProgramSketch {
+            statements: vec![StatementSketch::new(vec![0], 1), StatementSketch::new(vec![1], 2)],
+        };
+        assert!(is_globally_nontrivial(&data, &succinct, 0.05, 3));
+
+        let redundant = ProgramSketch {
+            statements: vec![
+                StatementSketch::new(vec![0], 1),
+                StatementSketch::new(vec![1], 2),
+                StatementSketch::new(vec![0], 2), // zip ⫫ state | city
+            ],
+        };
+        assert!(!is_globally_nontrivial(&data, &redundant, 0.05, 3));
+    }
+
+    #[test]
+    fn lnt_rejects_pure_noise() {
+        let mut rng = xorshift(5);
+        let n = 4000;
+        let a: Vec<u32> = (0..n).map(|_| (rng() % 4) as u32).collect();
+        let b: Vec<u32> = (0..n).map(|_| (rng() % 4) as u32).collect();
+        let data = EncodedData::from_parts(vec![a, b], vec![4, 4], vec!["a".into(), "b".into()]);
+        assert!(!is_locally_nontrivial(&data, &StatementSketch::new(vec![0], 1), 0.01));
+    }
+
+    #[test]
+    fn theorem_4_1_holds_empirically() {
+        // The sketch read off the true DAG's parent sets is GNT.
+        let data = chain_data(8000);
+        let from_truth = ProgramSketch {
+            statements: vec![StatementSketch::new(vec![0], 1), StatementSketch::new(vec![1], 2)],
+        };
+        assert!(is_globally_nontrivial(&data, &from_truth, 0.05, 3));
+    }
+}

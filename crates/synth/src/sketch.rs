@@ -1,0 +1,137 @@
+//! The sketch language (Fig. 3 of the paper).
+
+use guardrail_graph::Dag;
+use guardrail_table::Schema;
+use std::fmt;
+
+/// `GIVEN a⁺ ON a HAVING □`: a statement with its branches left as a hole.
+///
+/// Attributes are column indices into the dataset being synthesized against;
+/// sketches are an internal artifact of synthesis, unlike [`guardrail_dsl`]
+/// programs which name attributes portably.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StatementSketch {
+    /// Determinant attribute columns (sorted, deduplicated).
+    pub given: Vec<usize>,
+    /// Dependent attribute column.
+    pub on: usize,
+}
+
+impl StatementSketch {
+    /// Builds a sketch, normalizing the determinant set.
+    ///
+    /// # Panics
+    /// Panics if `given` is empty or contains `on`.
+    pub fn new(mut given: Vec<usize>, on: usize) -> Self {
+        assert!(!given.is_empty(), "GIVEN clause cannot be empty");
+        given.sort_unstable();
+        given.dedup();
+        assert!(!given.contains(&on), "dependent attribute cannot determine itself");
+        Self { given, on }
+    }
+
+    /// Renders the sketch with schema names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        SketchDisplay { sketch: self, schema }
+    }
+}
+
+struct SketchDisplay<'a> {
+    sketch: &'a StatementSketch,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for SketchDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |i: usize| self.schema.field(i).map(|x| x.name()).unwrap_or("?");
+        write!(f, "GIVEN ")?;
+        for (k, &g) in self.sketch.given.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(name(g))?;
+        }
+        write!(f, " ON {} HAVING \u{25A1}", name(self.sketch.on))
+    }
+}
+
+/// A program sketch: one statement sketch per constrained attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramSketch {
+    /// Statement sketches in attribute order.
+    pub statements: Vec<StatementSketch>,
+}
+
+impl ProgramSketch {
+    /// Reads a sketch off a DAG's parent sets: every node with a non-empty
+    /// parent set yields `GIVEN Pa(a) ON a HAVING □` (§4.2's
+    /// statement ↔ SEM-function correspondence).
+    pub fn from_dag(dag: &Dag) -> Self {
+        let mut statements = Vec::new();
+        for v in 0..dag.num_nodes() {
+            let parents: Vec<usize> = dag.parents(v).iter().collect();
+            if !parents.is_empty() {
+                statements.push(StatementSketch::new(parents, v));
+            }
+        }
+        Self { statements }
+    }
+
+    /// Number of statement sketches.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// `true` for the empty sketch.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guardrail_table::{DataType, Schema};
+
+    #[test]
+    fn sketch_from_chain_dag() {
+        // zip → city → state.
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let sketch = ProgramSketch::from_dag(&dag);
+        assert_eq!(sketch.len(), 2);
+        assert_eq!(sketch.statements[0], StatementSketch::new(vec![0], 1));
+        assert_eq!(sketch.statements[1], StatementSketch::new(vec![1], 2));
+    }
+
+    #[test]
+    fn multi_parent_sketch() {
+        let dag = Dag::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let sketch = ProgramSketch::from_dag(&dag);
+        assert_eq!(sketch.statements, vec![StatementSketch::new(vec![0, 1], 2)]);
+    }
+
+    #[test]
+    fn empty_dag_empty_sketch() {
+        assert!(ProgramSketch::from_dag(&Dag::new(4)).is_empty());
+    }
+
+    #[test]
+    fn normalization() {
+        let s = StatementSketch::new(vec![3, 1, 3], 0);
+        assert_eq!(s.given, vec![1, 3]);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let schema =
+            Schema::from_pairs([("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let s = StatementSketch::new(vec![0], 1);
+        assert_eq!(s.display(&schema).to_string(), "GIVEN zip ON city HAVING \u{25A1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "determine itself")]
+    fn self_dependence_rejected() {
+        StatementSketch::new(vec![0, 1], 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the table crate.
+
+use std::fmt;
+
+/// Errors produced by table construction, access, and CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A column index was out of bounds.
+    ColumnIndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of columns in the table.
+        num_columns: usize,
+    },
+    /// A row index was out of bounds.
+    RowIndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of rows in the table.
+        num_rows: usize,
+    },
+    /// Columns passed to a builder had mismatched lengths.
+    LengthMismatch {
+        /// Expected row count.
+        expected: usize,
+        /// Actual row count.
+        actual: usize,
+        /// Offending column (or row description).
+        column: String,
+    },
+    /// Duplicate column name in a schema.
+    DuplicateColumn(String),
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// I/O failure while reading or writing CSV files.
+    Io(String),
+    /// An empty table (no columns / no header) where one was required.
+    Empty,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownColumn(name) => write!(f, "unknown column: {name:?}"),
+            TableError::ColumnIndexOutOfBounds { index, num_columns } => {
+                write!(f, "column index {index} out of bounds (table has {num_columns} columns)")
+            }
+            TableError::RowIndexOutOfBounds { index, num_rows } => {
+                write!(f, "row index {index} out of bounds (table has {num_rows} rows)")
+            }
+            TableError::LengthMismatch { expected, actual, column } => write!(
+                f,
+                "column {column:?} has {actual} rows but the table has {expected}"
+            ),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            TableError::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            TableError::Io(msg) => write!(f, "I/O error: {msg}"),
+            TableError::Empty => write!(f, "table has no columns"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}

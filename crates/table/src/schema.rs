@@ -1,0 +1,165 @@
+//! Table schemas.
+
+use crate::error::TableError;
+use crate::Result;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Logical type of a column.
+///
+/// Guardrail treats every attribute as categorical for synthesis purposes; the
+/// data type records what the underlying values look like so that the SQL
+/// layer can type-check aggregates and the dataset generators can decide which
+/// columns are sensible aggregation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// Boolean-valued column.
+    Bool,
+    /// Integer-valued column.
+    Int,
+    /// Floating-point column.
+    Float,
+    /// String-valued column.
+    Str,
+    /// Column with mixed or unknown value types.
+    Mixed,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Mixed => "mixed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column slot in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    name: String,
+    data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type }
+    }
+
+    /// Field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Field type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+}
+
+/// An ordered collection of uniquely named fields.
+///
+/// Schemas are cheap to clone (`Arc` internals) and are shared between a table
+/// and the views/splits derived from it.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+    by_name: Arc<HashMap<String, usize>>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name().to_string(), i).is_some() {
+                return Err(TableError::DuplicateColumn(f.name().to_string()));
+            }
+        }
+        Ok(Self { fields: Arc::new(fields), by_name: Arc::new(by_name) })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (S, DataType)>,
+        S: Into<String>,
+    {
+        Self::new(pairs.into_iter().map(|(n, t)| Field::new(n, t)).collect())
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> Option<&Field> {
+        self.fields.get(i)
+    }
+
+    /// All fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`Schema::index_of`] but returns a typed error.
+    pub fn try_index_of(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| TableError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name()).collect()
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+impl Eq for Schema {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::from_pairs([("a", DataType::Int), ("b", DataType::Str)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("c"), None);
+        assert_eq!(s.field(0).unwrap().name(), "a");
+        assert_eq!(s.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::from_pairs([("a", DataType::Int), ("a", DataType::Str)]).unwrap_err();
+        assert_eq!(err, TableError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn try_index_of_error() {
+        let s = Schema::from_pairs([("a", DataType::Int)]).unwrap();
+        assert!(matches!(s.try_index_of("zz"), Err(TableError::UnknownColumn(_))));
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic train/test splitting.
+
+use crate::table::Table;
+
+/// Specification of a two-way split.
+///
+/// Splitting is deterministic given the `seed`: we shuffle row indices with a
+/// seeded xorshift permutation rather than depending on `rand` here, keeping
+/// the table crate dependency-free and the experiment pipeline reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitSpec {
+    /// Fraction of rows that go to the first (train) table, in `[0, 1]`.
+    pub train_fraction: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        Self { train_fraction: 0.7, seed: 0x5EED }
+    }
+}
+
+impl SplitSpec {
+    /// Creates a spec with the given fraction and seed.
+    pub fn new(train_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&train_fraction), "fraction must be in [0,1]");
+        Self { train_fraction, seed }
+    }
+
+    /// Splits `table` into `(train, test)`.
+    pub fn split(&self, table: &Table) -> (Table, Table) {
+        let n = table.num_rows();
+        let mut indices: Vec<usize> = (0..n).collect();
+        shuffle(&mut indices, self.seed);
+        let cut = ((n as f64) * self.train_fraction).round() as usize;
+        let cut = cut.min(n);
+        let (train_idx, test_idx) = indices.split_at(cut);
+        (table.take(train_idx), table.take(test_idx))
+    }
+}
+
+/// Fisher–Yates with a split-mix/xorshift PRNG.
+fn shuffle(indices: &mut [usize], seed: u64) {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..indices.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        indices.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+
+    fn table(n: usize) -> Table {
+        let mut b = TableBuilder::new(vec!["i".into()]);
+        for i in 0..n {
+            b.push_row(vec![Value::Int(i as i64)]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let t = table(100);
+        let (train, test) = SplitSpec::new(0.7, 1).split(&t);
+        assert_eq!(train.num_rows(), 70);
+        assert_eq!(test.num_rows(), 30);
+        let mut seen: Vec<i64> = train
+            .column(0)
+            .unwrap()
+            .iter()
+            .chain(test.column(0).unwrap().iter())
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = table(50);
+        let (a1, _) = SplitSpec::new(0.5, 42).split(&t);
+        let (a2, _) = SplitSpec::new(0.5, 42).split(&t);
+        let v1: Vec<_> = a1.column(0).unwrap().iter().collect();
+        let v2: Vec<_> = a2.column(0).unwrap().iter().collect();
+        assert_eq!(v1, v2);
+        let (b1, _) = SplitSpec::new(0.5, 43).split(&t);
+        let v3: Vec<_> = b1.column(0).unwrap().iter().collect();
+        assert_ne!(v1, v3);
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        let t = table(10);
+        let (train, test) = SplitSpec::new(1.0, 7).split(&t);
+        assert_eq!(train.num_rows(), 10);
+        assert_eq!(test.num_rows(), 0);
+        let (train, test) = SplitSpec::new(0.0, 7).split(&t);
+        assert_eq!(train.num_rows(), 0);
+        assert_eq!(test.num_rows(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        SplitSpec::new(1.5, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error-detection bake-off on one dataset: Guardrail vs TANE vs CTANE vs
+//! FDX (a single row of the paper's Table 3).
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use guardrail::baselines::{
+    ctane_discover, detect_cfd_violations, detect_fd_violations, fdx_discover, tane_discover,
+    CtaneConfig, FdxConfig, TaneConfig,
+};
+use guardrail::datasets::{inject_errors, paper_dataset, InjectConfig};
+use guardrail::prelude::*;
+use guardrail::stats::metrics::confusion_from_indices;
+
+fn main() {
+    // Dataset #9 (Telco Customer Churn shape), capped for a quick run.
+    let dataset = paper_dataset(9, 4000);
+    println!("dataset #{} — {} ({} rows × {} attrs)", dataset.spec.id, dataset.spec.name,
+        dataset.clean.num_rows(), dataset.clean.num_columns());
+
+    // Discover on a clean split; detect on an error-injected split.
+    let (discover, mut detect) = SplitSpec::new(0.5, 11).split(&dataset.clean);
+    let report = inject_errors(&mut detect, &InjectConfig::default());
+    let truth = report.dirty_rows();
+    println!("injected {} errors into the detection split\n", truth.len());
+
+    let n = detect.num_rows();
+    let score = |name: &str, flagged: &[usize]| {
+        let c = confusion_from_indices(flagged, &truth, n);
+        println!(
+            "{name:<12} flagged {:>5} rows   F1 {:>6.3}   MCC {:>6.3}",
+            flagged.len(),
+            c.f1(),
+            c.mcc()
+        );
+    };
+
+    // Guardrail.
+    let guard = Guardrail::fit(&discover, &GuardrailConfig::default());
+    score("Guardrail", &guard.detect(&detect).dirty_rows());
+
+    // TANE.
+    match tane_discover(&discover, &TaneConfig::default()) {
+        Ok(fds) => score("TANE", &detect_fd_violations(&detect, &fds)),
+        Err(e) => println!("{:<12} -            ({e})", "TANE"),
+    }
+
+    // CTANE.
+    match ctane_discover(&discover, &CtaneConfig::default()) {
+        Ok(cfds) => score("CTANE", &detect_cfd_violations(&detect, &cfds)),
+        Err(e) => println!("{:<12} -            ({e})", "CTANE"),
+    }
+
+    // FDX.
+    match fdx_discover(&discover, &FdxConfig::default()) {
+        Ok(fds) => score("FDX", &detect_fd_violations(&detect, &fds)),
+        Err(e) => println!("{:<12} -            ({e})", "FDX"),
+    }
+}

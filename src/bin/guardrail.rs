@@ -1,0 +1,182 @@
+//! The `guardrail` command-line tool.
+//!
+//! ```text
+//! guardrail synth <clean.csv> [--epsilon E] [--output constraints.gr]
+//! guardrail check <data.csv> --constraints <constraints.gr>
+//! guardrail repair <data.csv> --constraints <constraints.gr>
+//!                  [--scheme coerce|rectify] [--output fixed.csv]
+//! guardrail structure <data.csv>
+//! ```
+//!
+//! Constraints are stored in the DSL's text syntax, so the files produced by
+//! `synth` are human-readable and hand-editable, and anything parseable by
+//! `guardrail_dsl::parse_program` can be fed back to `check` / `repair`.
+
+use guardrail::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("repair") => cmd_repair(&args[1..]),
+        Some("structure") => cmd_structure(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+guardrail — integrity constraint synthesis from noisy data
+
+USAGE:
+  guardrail synth <clean.csv> [--epsilon E] [--output constraints.gr]
+  guardrail check <data.csv> --constraints <constraints.gr>
+  guardrail repair <data.csv> --constraints <constraints.gr> [--scheme coerce|rectify] [--output fixed.csv]
+  guardrail structure <data.csv>
+
+`check` exits 0 when the data is violation-free and 1 when violations were found.";
+
+/// Pulls `--flag value` out of an argument list; returns (positional, value).
+fn parse_flags(args: &[String], flags: &[&str]) -> Result<(Vec<String>, Vec<Option<String>>), String> {
+    let mut positional = Vec::new();
+    let mut values: Vec<Option<String>> = vec![None; flags.len()];
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(idx) = flags.iter().position(|f| f == arg) {
+            let v = iter.next().ok_or_else(|| format!("{arg} needs a value"))?;
+            values[idx] = Some(v.clone());
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}"));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, values))
+}
+
+fn load_table(path: &str) -> Result<Table, String> {
+    Table::from_csv_path(path).map_err(|e| format!("reading {path:?}: {e}"))
+}
+
+fn load_constraints(path: &str) -> Result<Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    parse_program(&text).map_err(|e| format!("parsing {path:?}: {e}"))
+}
+
+fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = parse_flags(args, &["--epsilon", "--output"])?;
+    let [data_path] = pos.as_slice() else {
+        return Err("synth needs exactly one CSV path".into());
+    };
+    let table = load_table(data_path)?;
+    let mut config = GuardrailConfig::default();
+    if let Some(e) = &flags[0] {
+        let eps: f64 = e.parse().map_err(|_| "bad --epsilon")?;
+        config = config.with_epsilon(eps);
+    }
+    let guard = Guardrail::fit(&table, &config);
+    let text = guard.program().to_string();
+    eprintln!(
+        "synthesized {} statement(s) / {} branch(es), coverage {:.3}, MEC size {}",
+        guard.program().statements.len(),
+        guard.program().num_branches(),
+        guard.coverage(),
+        guard.outcome().mec_size,
+    );
+    match &flags[1] {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("constraints written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = parse_flags(args, &["--constraints"])?;
+    let [data_path] = pos.as_slice() else {
+        return Err("check needs exactly one CSV path".into());
+    };
+    let constraints = flags[0].as_ref().ok_or("check needs --constraints <file>")?;
+    let table = load_table(data_path)?;
+    let guard = Guardrail::from_program(load_constraints(constraints)?);
+    let report = guard.detect(&table);
+    for v in &report.violations {
+        println!(
+            "row {}: {} = {:?} violates statement {} (expected {:?})",
+            v.row,
+            v.attribute,
+            v.actual.to_string(),
+            v.statement,
+            v.expected.to_string()
+        );
+    }
+    eprintln!(
+        "{} violation(s) on {} of {} rows",
+        report.violations.len(),
+        report.dirty_rows().len(),
+        report.rows_checked
+    );
+    Ok(if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn cmd_repair(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = parse_flags(args, &["--constraints", "--scheme", "--output"])?;
+    let [data_path] = pos.as_slice() else {
+        return Err("repair needs exactly one CSV path".into());
+    };
+    let constraints = flags[0].as_ref().ok_or("repair needs --constraints <file>")?;
+    let scheme = match flags[1].as_deref() {
+        None | Some("rectify") => ErrorScheme::Rectify,
+        Some("coerce") => ErrorScheme::Coerce,
+        Some(other) => return Err(format!("unknown scheme {other:?} (coerce|rectify)")),
+    };
+    let table = load_table(data_path)?;
+    let guard = Guardrail::from_program(load_constraints(constraints)?);
+    let (fixed, report) = guard.apply(&table, scheme);
+    eprintln!(
+        "{} violation(s); {} cell(s) changed by {:?}",
+        report.violations.len(),
+        report.cells_changed,
+        scheme
+    );
+    match &flags[2] {
+        Some(path) => {
+            fixed.write_csv_path(path).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("repaired table written to {path}");
+        }
+        None => print!("{}", fixed.to_csv_string()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_structure(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, _) = parse_flags(args, &[])?;
+    let [data_path] = pos.as_slice() else {
+        return Err("structure needs exactly one CSV path".into());
+    };
+    let table = load_table(data_path)?;
+    let cpdag = guardrail::pgm::learn_cpdag(&table, &Default::default());
+    let name = |i: usize| table.schema().field(i).map(|f| f.name().to_string()).unwrap_or_default();
+    println!("learned CPDAG over {} attributes:", cpdag.num_nodes());
+    for (u, v) in cpdag.directed_edges() {
+        println!("  {} -> {}", name(u), name(v));
+    }
+    for (u, v) in cpdag.undirected_edges() {
+        println!("  {} -- {}", name(u), name(v));
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the `guardrail` CLI binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_guardrail")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("binary runs")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("guardrail_cli_tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_clean_csv(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("clean.csv");
+    let mut csv = String::from("zip,city\n");
+    for _ in 0..150 {
+        csv.push_str("94704,Berkeley\n97201,Portland\n");
+    }
+    std::fs::write(&path, csv).unwrap();
+    path
+}
+
+#[test]
+fn synth_check_repair_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let clean = write_clean_csv(&dir);
+    let constraints = dir.join("constraints.gr");
+
+    // synth writes a parseable constraint file.
+    let out = run(&[
+        "synth",
+        clean.to_str().unwrap(),
+        "--output",
+        constraints.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&constraints).unwrap();
+    assert!(text.contains("GIVEN"), "{text}");
+
+    // check on clean data exits 0.
+    let out = run(&["check", clean.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
+    assert!(out.status.success());
+
+    // check on dirty data exits 1 and reports the row.
+    let dirty = dir.join("dirty.csv");
+    std::fs::write(&dirty, "zip,city\n94704,gibbon\n97201,Portland\n").unwrap();
+    let out = run(&["check", dirty.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("row 0"), "{stdout}");
+
+    // repair rectifies and the result passes check.
+    let fixed = dir.join("fixed.csv");
+    let out = run(&[
+        "repair",
+        dirty.to_str().unwrap(),
+        "--constraints",
+        constraints.to_str().unwrap(),
+        "--output",
+        fixed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let fixed_text = std::fs::read_to_string(&fixed).unwrap();
+    assert!(fixed_text.contains("Berkeley"), "{fixed_text}");
+    assert!(!fixed_text.contains("gibbon"));
+    let out = run(&["check", fixed.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn repair_coerce_scheme() {
+    let dir = tmpdir("coerce");
+    let clean = write_clean_csv(&dir);
+    let constraints = dir.join("c.gr");
+    run(&["synth", clean.to_str().unwrap(), "--output", constraints.to_str().unwrap()]);
+    let dirty = dir.join("dirty.csv");
+    std::fs::write(&dirty, "zip,city\n94704,gibbon\n").unwrap();
+    let out = run(&[
+        "repair",
+        dirty.to_str().unwrap(),
+        "--constraints",
+        constraints.to_str().unwrap(),
+        "--scheme",
+        "coerce",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("94704,\n"), "coerced cell should be empty: {stdout}");
+}
+
+#[test]
+fn structure_prints_edges() {
+    let dir = tmpdir("structure");
+    let clean = write_clean_csv(&dir);
+    let out = run(&["structure", clean.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("zip"), "{stdout}");
+    assert!(stdout.contains("--") || stdout.contains("->"), "{stdout}");
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    assert_eq!(run(&["bogus"]).status.code(), Some(2));
+    assert_eq!(run(&["synth"]).status.code(), Some(2));
+    assert_eq!(run(&["check", "nope.csv", "--constraints", "also-nope"]).status.code(), Some(2));
+    assert_eq!(run(&["synth", "x.csv", "--unknown-flag", "v"]).status.code(), Some(2));
+    // --help prints usage and succeeds.
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn synth_respects_epsilon_flag() {
+    let dir = tmpdir("epsilon");
+    // a → b with 10% flip noise, and b → a non-functional (b=x maps to two
+    // distinct a values), so only the a → b direction is synthesizable:
+    // ε = 0.2 accepts its noisy branches, ε = 0.01 rejects them all.
+    let path = dir.join("noisy.csv");
+    let mut csv = String::from("a,b\n");
+    for i in 0..100 {
+        let noisy = i % 10 == 0;
+        csv.push_str(&format!("0,{}\n", if noisy { "y" } else { "x" }));
+        csv.push_str(&format!("1,{}\n", if noisy { "y" } else { "x" }));
+        csv.push_str(&format!("2,{}\n", if noisy { "x" } else { "y" }));
+    }
+    std::fs::write(&path, csv).unwrap();
+    let strict = run(&["synth", path.to_str().unwrap(), "--epsilon", "0.01"]);
+    let loose = run(&["synth", path.to_str().unwrap(), "--epsilon", "0.2"]);
+    assert!(strict.status.success() && loose.status.success());
+    let strict_out = String::from_utf8_lossy(&strict.stdout);
+    let loose_out = String::from_utf8_lossy(&loose.stdout);
+    assert_eq!(strict_out.matches("IF").count(), 0, "strict ε must reject noisy branches:\n{strict_out}");
+    assert!(loose_out.matches("IF").count() >= 2, "loose ε must keep them:\n{loose_out}");
+}

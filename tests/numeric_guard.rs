@@ -1,0 +1,72 @@
+//! Integration: the numeric range guard (§6's Conformance-Constraint
+//! conjunction) working alongside the categorical DSL guardrail.
+
+use guardrail::core::{NumericGuard, NumericGuardConfig};
+use guardrail::prelude::*;
+
+/// Mixed-type data: a categorical FD (zip → city) and a numeric measure.
+fn mixed_table(rows: usize) -> Table {
+    let mut csv = String::from("zip,city,temperature\n");
+    for i in 0..rows {
+        let (zip, city) = if i % 2 == 0 { (94704, "Berkeley") } else { (97201, "Portland") };
+        // temperatures in a tight natural band.
+        let temp = 10.0 + ((i * 37) % 200) as f64 / 10.0;
+        csv.push_str(&format!("{zip},{city},{temp}\n"));
+    }
+    Table::from_csv_str(&csv).unwrap()
+}
+
+#[test]
+fn numeric_and_categorical_guards_compose() {
+    let clean = mixed_table(600);
+    let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+    let numeric = NumericGuard::fit(&clean, &NumericGuardConfig::default());
+    assert_eq!(numeric.ranges().len(), 1, "temperature gets an envelope");
+
+    // One categorical error, one numeric outlier.
+    let mut dirty = clean.clone();
+    dirty.set(3, 1, Value::from("gibbon")).unwrap();
+    dirty.set(7, 2, Value::Float(9999.0)).unwrap();
+
+    let cat_rows = guard.detect(&dirty).dirty_rows();
+    let num_rows = numeric.dirty_rows(&dirty);
+    assert_eq!(cat_rows, vec![3], "DSL catches the categorical error only");
+    assert_eq!(num_rows, vec![7], "envelope catches the numeric outlier only");
+
+    // Union covers both; each alone covers half.
+    let mut all: Vec<usize> = cat_rows.into_iter().chain(num_rows).collect();
+    all.sort_unstable();
+    assert_eq!(all, vec![3, 7]);
+}
+
+#[test]
+fn repairs_compose_too() {
+    let clean = mixed_table(400);
+    let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+    let numeric = NumericGuard::fit(&clean, &NumericGuardConfig::default());
+
+    let mut dirty = clean.clone();
+    dirty.set(2, 1, Value::from("gibbon")).unwrap();
+    dirty.set(5, 2, Value::Float(-500.0)).unwrap();
+
+    let (mut repaired, rep) = guard.apply(&dirty, ErrorScheme::Rectify);
+    assert_eq!(rep.cells_changed, 1);
+    let clamped = numeric.clamp_table(&mut repaired);
+    assert_eq!(clamped, 1);
+
+    assert!(guard.detect(&repaired).is_clean());
+    assert!(numeric.detect(&repaired).is_empty());
+    assert_eq!(repaired.get(2, 1), Some(Value::from("Berkeley")));
+    let temp = repaired.get(5, 2).unwrap().as_f64().unwrap();
+    assert!(temp >= numeric.ranges()[0].lo);
+}
+
+#[test]
+fn numeric_guard_ignores_categorical_noise() {
+    // Categorical corruption must not trip numeric envelopes.
+    let clean = mixed_table(300);
+    let numeric = NumericGuard::fit(&clean, &NumericGuardConfig::default());
+    let mut dirty = clean.clone();
+    dirty.set(0, 1, Value::from("zzz")).unwrap();
+    assert!(numeric.detect(&dirty).is_empty());
+}

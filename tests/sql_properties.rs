@@ -1,0 +1,163 @@
+//! Property tests for the SQL layer: expression printing round-trips through
+//! the parser, and executor invariants hold on random inputs.
+
+use guardrail::sqlexec::ast::{AggFunc, BinOp, Expr};
+use guardrail::sqlexec::{parse_query, Catalog, Executor};
+use guardrail::table::{Table, TableBuilder, Value};
+use proptest::prelude::*;
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i as i64))),
+        (-1000i32..1000, 1u32..50)
+            .prop_map(|(m, d)| Expr::Literal(Value::Float(m as f64 / d as f64))),
+        "[a-zA-Z0-9 _']{0,8}".prop_map(|s| Expr::Literal(Value::Str(s))),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+/// Identifiers that must not collide with SQL keywords or function names.
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "SELECT" | "FROM" | "WHERE" | "GROUP" | "BY" | "HAVING" | "ORDER" | "LIMIT" | "AS"
+                | "AND" | "OR" | "NOT" | "IN" | "BETWEEN" | "CASE" | "WHEN" | "THEN" | "ELSE"
+                | "END" | "TRUE" | "FALSE" | "NULL" | "ASC" | "DESC" | "AVG" | "SUM" | "COUNT"
+                | "MIN" | "MAX" | "PREDICT"
+        )
+    })
+}
+
+fn arb_scalar_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal(),
+        arb_ident().prop_map(Expr::Column),
+        arb_ident().prop_map(|m| Expr::Predict { model: m }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r)
+                }),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (proptest::collection::vec((inner.clone(), inner.clone()), 1..3), inner.clone())
+                .prop_map(|(branches, otherwise)| Expr::Case {
+                    branches,
+                    otherwise: Some(Box::new(otherwise)),
+                }),
+            (
+                prop_oneof![
+                    Just(AggFunc::Avg),
+                    Just(AggFunc::Sum),
+                    Just(AggFunc::Count),
+                    Just(AggFunc::Min),
+                    Just(AggFunc::Max)
+                ],
+                inner
+            )
+                .prop_map(|(func, arg)| Expr::Aggregate { func, arg: Some(Box::new(arg)) }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Printing an expression and parsing it back in a SELECT yields the
+    /// same expression (modulo Value's cross-type numeric equality).
+    #[test]
+    fn expr_display_parse_roundtrip(expr in arb_scalar_expr()) {
+        let sql = format!("SELECT {expr} AS out FROM t");
+        let query = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("printed expression failed to parse: {e}\n{sql}"));
+        prop_assert_eq!(&query.projections[0].expr, &expr, "{}", sql);
+    }
+
+    /// WHERE filtering never invents rows, and ordering never changes the
+    /// multiset of results.
+    #[test]
+    fn where_and_order_invariants(values in proptest::collection::vec(0i64..20, 1..40)) {
+        let mut b = TableBuilder::new(vec!["v".into()]);
+        for &v in &values {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        let mut catalog = Catalog::new();
+        catalog.add_table("t", b.finish().unwrap());
+        let exec = Executor::new(&catalog);
+
+        let all = exec.run("SELECT v FROM t").unwrap().table;
+        prop_assert_eq!(all.num_rows(), values.len());
+
+        let filtered = exec.run("SELECT v FROM t WHERE v >= 10").unwrap().table;
+        let expected = values.iter().filter(|&&v| v >= 10).count();
+        prop_assert_eq!(filtered.num_rows(), expected);
+
+        let ordered = exec.run("SELECT v FROM t ORDER BY v DESC").unwrap().table;
+        let mut got: Vec<i64> =
+            (0..ordered.num_rows()).map(|i| ordered.get(i, 0).unwrap().as_i64().unwrap()).collect();
+        prop_assert!(got.windows(2).all(|w| w[0] >= w[1]), "not sorted: {got:?}");
+        got.sort_unstable();
+        let mut want = values.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// GROUP BY partitions: group counts sum to the row count.
+    #[test]
+    fn group_counts_partition_rows(values in proptest::collection::vec(0i64..5, 1..60)) {
+        let mut b = TableBuilder::new(vec!["g".into()]);
+        for &v in &values {
+            b.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        let mut catalog = Catalog::new();
+        catalog.add_table("t", b.finish().unwrap());
+        let out = Executor::new(&catalog)
+            .run("SELECT g, COUNT(*) AS n FROM t GROUP BY g")
+            .unwrap()
+            .table;
+        let total: i64 =
+            (0..out.num_rows()).map(|i| out.get(i, 1).unwrap().as_i64().unwrap()).sum();
+        prop_assert_eq!(total as usize, values.len());
+    }
+}
+
+/// Tables referenced by the executor but not the parser: explain on a random
+/// (valid) query never panics.
+#[test]
+fn explain_never_panics_on_valid_queries() {
+    let table = Table::from_csv_str("a,b\n1,x\n2,y\n").unwrap();
+    let mut catalog = Catalog::new();
+    catalog.add_table("t", table);
+    let exec = Executor::new(&catalog);
+    for sql in [
+        "SELECT a FROM t",
+        "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 0 ORDER BY a LIMIT 1",
+        "SELECT a FROM t WHERE a IN (1, 2) AND b = 'x'",
+        "SELECT MAX(a) - MIN(a) AS spread FROM t",
+    ] {
+        let plan = exec.explain(sql).unwrap();
+        assert!(plan.contains("Scan t"), "{plan}");
+    }
+}
