@@ -64,7 +64,8 @@ pub fn ctane_discover(table: &Table, config: &CtaneConfig) -> Result<Vec<Cfd>, B
 
     // Level 1: single-attribute patterns, grouped in one pass per column.
     // pattern_rows: pattern (as sorted (col,code) vec) → row list.
-    let mut frontier: Vec<(Vec<(usize, u32)>, Vec<u32>)> = Vec::new();
+    type PatternRows = Vec<(Vec<(usize, u32)>, Vec<u32>)>;
+    let mut frontier: PatternRows = Vec::new();
     for col in 0..n_attrs {
         let codes = table.column(col).expect("in range").codes();
         let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
@@ -220,11 +221,11 @@ pub fn ctane_discover_variable(
     // Precompute which global FDs already hold (scoped versions are then
     // redundant).
     let mut global: Vec<Vec<bool>> = vec![vec![false; n_attrs]; n_attrs];
-    for lhs in 0..n_attrs {
-        for rhs in 0..n_attrs {
+    for (lhs, row) in global.iter_mut().enumerate() {
+        for (rhs, cell) in row.iter_mut().enumerate() {
             if lhs != rhs {
                 let rows: Vec<u32> = (0..table.num_rows() as u32).collect();
-                global[lhs][rhs] = scoped_fd_error(table, lhs, rhs, &rows) <= epsilon;
+                *cell = scoped_fd_error(table, lhs, rhs, &rows) <= epsilon;
             }
         }
     }
@@ -243,9 +244,9 @@ pub fn ctane_discover_variable(
             if rows.len() < config.min_support {
                 continue;
             }
-            for lhs in 0..n_attrs {
-                for rhs in 0..n_attrs {
-                    if lhs == rhs || lhs == cond_col || rhs == cond_col || global[lhs][rhs] {
+            for (lhs, global_row) in global.iter().enumerate() {
+                for (rhs, &holds_globally) in global_row.iter().enumerate() {
+                    if lhs == rhs || lhs == cond_col || rhs == cond_col || holds_globally {
                         continue;
                     }
                     candidates += 1;

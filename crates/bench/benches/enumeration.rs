@@ -3,7 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use guardrail_datasets::paper_dataset;
-use guardrail_graph::{acyclic_orientations, enumerate_extensions, Dag, EnumerateLimit};
+use guardrail_governor::Budget;
+use guardrail_graph::{acyclic_orientations, enumerate_extensions, Dag};
 use guardrail_pgm::{learn_cpdag, LearnConfig};
 
 fn bench_pc(c: &mut Criterion) {
@@ -29,7 +30,7 @@ fn bench_mec_enumeration(c: &mut Criterion) {
         let dag = Dag::from_edges(n, &edges).unwrap();
         let cpdag = dag.to_cpdag();
         group.bench_with_input(BenchmarkId::from_parameter(n), &cpdag, |b, c| {
-            b.iter(|| enumerate_extensions(black_box(c), EnumerateLimit::default()))
+            b.iter(|| enumerate_extensions(black_box(c), &Budget::unlimited()))
         });
     }
     group.finish();

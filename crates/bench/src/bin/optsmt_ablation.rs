@@ -9,6 +9,7 @@
 use guardrail_bench::printing::{banner, fmt_count};
 use guardrail_bench::{prepare, HarnessConfig};
 use guardrail_synth::optsmt::candidate_space;
+use guardrail_governor::Budget;
 use guardrail_synth::{optsmt_synthesize, OptSmtConfig, OptSmtOutcome};
 
 fn main() {
@@ -25,7 +26,8 @@ fn main() {
         let space = candidate_space(attrs, 3);
         let outcome = optsmt_synthesize(
             &p.train,
-            &OptSmtConfig { budget_constraints: 20_000_000, ..OptSmtConfig::default() },
+            &OptSmtConfig::default(),
+            &Budget::with_work_cap(20_000_000),
         );
         let summary = match outcome {
             OptSmtOutcome::Solved { coverage, constraints, candidates, .. } => format!(

@@ -8,7 +8,8 @@
 use guardrail_bench::printing::{banner, fmt_count};
 use guardrail_bench::reference;
 use guardrail_bench::{prepare, HarnessConfig};
-use guardrail_graph::{acyclic_orientations, count_extensions, EnumerateLimit};
+use guardrail_governor::Budget;
+use guardrail_graph::{acyclic_orientations, count_extensions};
 use guardrail_pgm::{learn_cpdag, LearnConfig};
 use std::time::Instant;
 
@@ -27,8 +28,8 @@ fn main() {
         let p = prepare(id, &cfg);
         let cpdag = learn_cpdag(&p.train, &LearnConfig::default());
         let t0 = Instant::now();
-        let (mec_size, truncated) =
-            count_extensions(&cpdag, EnumerateLimit { max_dags: 100_000 });
+        let (mec_size, status) = count_extensions(&cpdag, &Budget::with_work_cap(100_000));
+        let truncated = !status.is_complete();
         let enum_ms = t0.elapsed().as_secs_f64() * 1e3;
         let skeleton = cpdag.skeleton_edges();
         let orientations = acyclic_orientations(cpdag.num_nodes(), &skeleton, 5_000_000);

@@ -1,0 +1,77 @@
+//! The crate-level error type.
+//!
+//! Everything a caller can feed Guardrail from the outside world — CSV
+//! bytes, tables, hand-written programs — flows through fallible entry
+//! points that return [`GuardrailError`] instead of panicking. The enum
+//! extends [`TableError`] (untrusted input) and [`DslError`] (untrusted
+//! programs) with the pipeline's own preconditions.
+
+use guardrail_dsl::DslError;
+use guardrail_table::TableError;
+use std::fmt;
+
+/// Errors from fitting or applying guardrails to untrusted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardrailError {
+    /// Malformed tabular input (CSV parse errors, bad indices, …).
+    Table(TableError),
+    /// Malformed or inapplicable DSL program.
+    Dsl(DslError),
+    /// The schema has more attributes than the graph substrate supports
+    /// (structure learning is bounded by [`guardrail_graph::MAX_NODES`]).
+    TooManyAttributes {
+        /// Attributes in the offending schema.
+        got: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for GuardrailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardrailError::Table(e) => write!(f, "table error: {e}"),
+            GuardrailError::Dsl(e) => write!(f, "program error: {e}"),
+            GuardrailError::TooManyAttributes { got, max } => {
+                write!(f, "schema has {got} attributes but synthesis supports at most {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardrailError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GuardrailError::Table(e) => Some(e),
+            GuardrailError::Dsl(e) => Some(e),
+            GuardrailError::TooManyAttributes { .. } => None,
+        }
+    }
+}
+
+impl From<TableError> for GuardrailError {
+    fn from(e: TableError) -> Self {
+        GuardrailError::Table(e)
+    }
+}
+
+impl From<DslError> for GuardrailError {
+    fn from(e: DslError) -> Self {
+        GuardrailError::Dsl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains_sources() {
+        let e = GuardrailError::from(TableError::Empty);
+        assert!(e.to_string().contains("table error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = GuardrailError::TooManyAttributes { got: 200, max: 128 };
+        assert!(e.to_string().contains("200"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

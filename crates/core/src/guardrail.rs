@@ -1,9 +1,11 @@
 //! The [`Guardrail`] type.
 
+use crate::error::GuardrailError;
 use crate::report::{ApplyReport, DetectionReport};
 use crate::scheme::{ErrorScheme, RowOutcome};
 use guardrail_dsl::{CompiledProgram, Program};
-use guardrail_synth::{synthesize, SynthesisConfig, SynthesisOutcome};
+use guardrail_governor::{Budget, DegradationReport};
+use guardrail_synth::{synthesize_governed, SynthesisConfig, SynthesisOutcome};
 use guardrail_table::{Row, Table, Value};
 
 /// Synthesis configuration for [`Guardrail::fit`] (re-exported alias of the
@@ -35,8 +37,37 @@ pub struct Guardrail {
 
 impl Guardrail {
     /// Synthesizes constraints from (ideally clean) training data.
+    ///
+    /// Panics when the schema is unsupported (more attributes than
+    /// [`guardrail_graph::MAX_NODES`]); untrusted input should go through
+    /// [`Guardrail::try_fit`] instead.
     pub fn fit(table: &Table, config: &GuardrailConfig) -> Self {
-        Self { outcome: synthesize(table, config) }
+        Self::try_fit(table, config).expect("unsupported schema; use try_fit for untrusted input")
+    }
+
+    /// Fallible [`Guardrail::fit`] for untrusted input: returns a typed
+    /// error instead of panicking on unsupported schemas.
+    pub fn try_fit(table: &Table, config: &GuardrailConfig) -> Result<Self, GuardrailError> {
+        Self::try_fit_governed(table, config, &Budget::unlimited())
+    }
+
+    /// Budgeted synthesis: the whole pipeline (structure learning, MEC
+    /// enumeration, sketch fills) charges `budget` and degrades to the best
+    /// program found so far on exhaustion — inspect
+    /// [`degradation`](Guardrail::degradation) for what was cut short.
+    pub fn try_fit_governed(
+        table: &Table,
+        config: &GuardrailConfig,
+        budget: &Budget,
+    ) -> Result<Self, GuardrailError> {
+        let attrs = table.num_columns();
+        if attrs > guardrail_graph::MAX_NODES {
+            return Err(GuardrailError::TooManyAttributes {
+                got: attrs,
+                max: guardrail_graph::MAX_NODES,
+            });
+        }
+        Ok(Self { outcome: synthesize_governed(table, config, budget) })
     }
 
     /// Wraps a hand-written or previously synthesized program.
@@ -50,6 +81,7 @@ impl Guardrail {
             chosen_dag: None,
             cache_stats: Default::default(),
             statements: Vec::new(),
+            degradation: DegradationReport::complete(),
         };
         Self { outcome }
     }
@@ -67,6 +99,11 @@ impl Guardrail {
     /// Coverage of the fitted program on its training data.
     pub fn coverage(&self) -> f64 {
         self.outcome.coverage
+    }
+
+    /// Which synthesis stages (if any) ran out of budget during fitting.
+    pub fn degradation(&self) -> &DegradationReport {
+        &self.outcome.degradation
     }
 
     /// Detects violations across `table` (Eqn. 1 applied row-wise).
@@ -322,6 +359,33 @@ mod tests {
         let (out, rep) = g.apply(&t, ErrorScheme::Rectify);
         assert_eq!(out.to_csv_string(), t.to_csv_string());
         assert_eq!(rep.cells_changed, 0);
+    }
+
+    #[test]
+    fn try_fit_rejects_oversized_schema_with_typed_error() {
+        // 200 columns exceeds the graph substrate's 128-node capacity: fit
+        // would panic, try_fit reports it as data.
+        let header: Vec<String> = (0..200).map(|i| format!("c{i}")).collect();
+        let csv = header.join(",") + "\n" + &vec!["1"; 200].join(",") + "\n";
+        let t = Table::from_csv_str(&csv).unwrap();
+        match Guardrail::try_fit(&t, &GuardrailConfig::default()) {
+            Err(crate::error::GuardrailError::TooManyAttributes { got: 200, max }) => {
+                assert_eq!(max, guardrail_graph::MAX_NODES);
+            }
+            other => panic!("expected TooManyAttributes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn governed_fit_reports_degradation() {
+        let table = clean_table(400);
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let g = Guardrail::try_fit_governed(&table, &GuardrailConfig::default(), &budget).unwrap();
+        assert!(!g.degradation().is_complete());
+        // The degraded guardrail is still usable end to end.
+        assert!(g.detect(&table).rows_checked == 400);
+        let unbudgeted = fitted(400);
+        assert!(unbudgeted.degradation().is_complete());
     }
 
     #[test]

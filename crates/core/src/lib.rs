@@ -34,15 +34,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod guardrail;
 pub mod numeric;
 pub mod report;
 pub mod scheme;
 
+pub use error::GuardrailError;
 pub use guardrail::{Guardrail, GuardrailConfig, RectifyConflict};
 pub use numeric::{NumericGuard, NumericGuardConfig, NumericViolation};
 pub use report::{ApplyReport, DetectionReport};
 pub use scheme::{ErrorScheme, RowOutcome};
 
-pub use guardrail_dsl::{Program, Violation};
+pub use guardrail_dsl::{DslError, Program, Violation};
+pub use guardrail_governor::{
+    Budget, CancellationToken, Degradation, DegradationReport, ExhaustionReason, StageStatus,
+};
 pub use guardrail_synth::SynthesisOutcome;
+pub use guardrail_table::TableError;

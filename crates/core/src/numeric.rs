@@ -86,7 +86,9 @@ impl NumericGuard {
             if values.len() < config.min_distinct {
                 continue;
             }
-            values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            // total_cmp: non-finite values are filtered above, but hostile
+            // float data must never be able to panic a sort.
+            values.sort_by(f64::total_cmp);
             let lo = quantile(&values, config.lower_q);
             let hi = quantile(&values, config.upper_q);
             let pad = (hi - lo) * config.margin;

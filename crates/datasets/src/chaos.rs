@@ -1,0 +1,138 @@
+//! Fault-injection inputs for robustness testing.
+//!
+//! Everything the outside world can throw at Guardrail's ingestion and
+//! synthesis paths, generated deterministically from a seed so failures
+//! reproduce: malformed CSV (ragged records, quote bombs, raw garbage
+//! bytes), adversarial schemas (hundreds of columns, astronomically large
+//! determinant key spaces), and statistically hostile data (near-uniform
+//! noise, densely entangled attributes that blow up the MEC). The
+//! `tests/robustness.rs` suite feeds these to the typed-error entry points
+//! and to budgeted synthesis and asserts two invariants: *never panic* and
+//! *always return within budget*.
+
+use guardrail_table::{Table, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// CSV whose records disagree about the number of fields (the most common
+/// real-world corruption). The header has 4 columns; data rows have 0–8.
+pub fn ragged_csv(seed: u64, rows: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut csv = String::from("a,b,c,d\n");
+    for i in 0..rows {
+        let fields = rng.gen_range(0usize..=8);
+        let row: Vec<String> = (0..fields).map(|f| format!("v{i}_{f}")).collect();
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    csv
+}
+
+/// Deterministic pseudo-random bytes, including nulls, non-UTF-8 sequences,
+/// stray quotes, and control characters — a stand-in for feeding Guardrail a
+/// binary file by mistake.
+pub fn garbage_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+}
+
+/// CSV with pathological quoting: unterminated quotes, quotes mid-field, and
+/// embedded newlines designed to desynchronize naive parsers.
+pub fn quote_bomb() -> String {
+    let mut csv = String::from("a,b\n");
+    csv.push_str("\"embedded\nnewline\",ok\n");
+    csv.push_str("\"doubled \"\" quote\",ok\n");
+    csv.push_str("plain,als\"o fine?\n"); // quote inside unquoted field
+    csv.push_str("\"unterminated,oops\n"); // never closed
+    csv
+}
+
+/// A syntactically valid CSV with `cols` columns and `rows` rows — wide
+/// enough to exceed structure learning's node capacity when `cols > 128`,
+/// which must surface as a typed error rather than a panic.
+pub fn wide_csv(cols: usize, rows: usize) -> String {
+    let header: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+    let mut csv = header.join(",");
+    csv.push('\n');
+    for r in 0..rows {
+        let row: Vec<String> = (0..cols).map(|c| ((r + c) % 10).to_string()).collect();
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    csv
+}
+
+/// A table of i.i.d. near-uniform noise: no attribute explains any other, so
+/// every candidate branch hovers at the ε-validity boundary and synthesis
+/// should return an empty (or near-empty) program rather than inventing
+/// constraints.
+pub fn near_uniform_table(attrs: usize, rows: usize, cardinality: usize, seed: u64) -> Table {
+    assert!(attrs > 0 && cardinality > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..attrs).map(|a| format!("u{a}")).collect();
+    let mut b = TableBuilder::new(names);
+    for _ in 0..rows {
+        let row: Vec<Value> =
+            (0..attrs).map(|_| Value::Int(rng.gen_range(0..cardinality as i64))).collect();
+        b.push_row(row).unwrap_or_else(|e| unreachable!("row arity is fixed: {e}"));
+    }
+    b.finish().unwrap_or_else(|e| unreachable!("columns are consistent: {e}"))
+}
+
+/// A table whose attributes are all noisy copies of one latent variable:
+/// pairwise dependence everywhere with no colliders, so the learned CPDAG is
+/// dense and largely undirected and the MEC is combinatorially large — the
+/// worst case for Alg. 2's enumeration, used to exercise deadlines.
+pub fn entangled_table(attrs: usize, rows: usize, seed: u64) -> Table {
+    assert!(attrs > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..attrs).map(|a| format!("e{a}")).collect();
+    let mut b = TableBuilder::new(names);
+    for _ in 0..rows {
+        let latent = rng.gen_range(0i64..4);
+        let row: Vec<Value> = (0..attrs)
+            .map(|_| {
+                let v = if rng.gen_ratio(1, 40) { rng.gen_range(0i64..4) } else { latent };
+                Value::Int(v)
+            })
+            .collect();
+        b.push_row(row).unwrap_or_else(|e| unreachable!("row arity is fixed: {e}"));
+    }
+    b.finish().unwrap_or_else(|e| unreachable!("columns are consistent: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(ragged_csv(7, 20), ragged_csv(7, 20));
+        assert_eq!(garbage_bytes(7, 256), garbage_bytes(7, 256));
+        let a = near_uniform_table(4, 50, 6, 3);
+        let b = near_uniform_table(4, 50, 6, 3);
+        assert_eq!(a.to_csv_string(), b.to_csv_string());
+    }
+
+    #[test]
+    fn malformed_inputs_yield_typed_errors_not_panics() {
+        assert!(Table::from_csv_str(&ragged_csv(1, 50)).is_err());
+        assert!(Table::from_csv_str(&quote_bomb()).is_err());
+        // Garbage bytes either parse (as opaque strings) or error — both are
+        // acceptable; panicking is not.
+        for seed in 0..16 {
+            let _ = Table::from_csv_bytes(garbage_bytes(seed, 512));
+        }
+    }
+
+    #[test]
+    fn structured_generators_have_requested_shape() {
+        let t = Table::from_csv_str(&wide_csv(200, 3)).expect("wide CSV is well-formed");
+        assert_eq!(t.num_columns(), 200);
+        assert_eq!(t.num_rows(), 3);
+        let u = near_uniform_table(5, 100, 4, 1);
+        assert_eq!((u.num_columns(), u.num_rows()), (5, 100));
+        let e = entangled_table(6, 100, 2);
+        assert_eq!((e.num_columns(), e.num_rows()), (6, 100));
+    }
+}

@@ -16,6 +16,8 @@
 //!   attribute counts, row counts) built on the generators above.
 //! * [`inject`] — cell-level error injection with ground-truth tracking
 //!   (§8's 1% rate with a small-dataset cap).
+//! * [`chaos`] — fault-injection inputs (malformed CSV, adversarial
+//!   schemas, statistically hostile tables) for the robustness suite.
 //!
 //! Because the generating SEM is known, every experiment gains exact ground
 //! truth: the true DAG, the true deterministic constraints, and the exact
@@ -25,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cancer;
+pub mod chaos;
 pub mod inject;
 pub mod paper;
 pub mod random;

@@ -136,7 +136,7 @@ fn build_sem(spec: DatasetSpec) -> DiscreteSem {
         // High enough that raw contingency tests starve at 500–1500 rows
         // (5·12·12 ≈ 720 observations needed per pairwise test), low enough
         // that the binary auxiliary view stays informative.
-        4 | 5 | 6 => (4, 12),
+        4..=6 => (4, 12),
         8 => (2, 8),
         _ => (2, 7),
     };

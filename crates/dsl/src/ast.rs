@@ -8,7 +8,7 @@ use std::fmt;
 ///
 /// The grammar's `Condition` production. Conjuncts are kept in insertion
 /// order for printing; evaluation is order-insensitive.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Condition {
     conjuncts: Vec<(String, Value)>,
 }
@@ -48,7 +48,7 @@ impl fmt::Display for Condition {
 
 /// `IF c THEN a ← l`: a conditional assignment of literal `l` to attribute
 /// `a`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Branch {
     /// Guard condition.
     pub condition: Condition,
@@ -72,7 +72,7 @@ impl fmt::Display for Branch {
 }
 
 /// `GIVEN a⁺ ON a HAVING b⁺`: the DGP of one dependent attribute.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Statement {
     /// Determinant attributes.
     pub given: Vec<String>,
@@ -133,7 +133,7 @@ impl fmt::Display for Statement {
 }
 
 /// A whole program: a sequence of statements.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
     /// The statements, applied in order.
     pub statements: Vec<Statement>,

@@ -135,7 +135,8 @@ mod tests {
         // other way (possibly together with other reorientations — a single
         // flip is not always enough). Verify the labeling against the
         // enumerated equivalence class.
-        use crate::enumerate::{enumerate_extensions, EnumerateLimit};
+        use crate::enumerate::enumerate_extensions;
+        use guardrail_governor::Budget;
         for edges in [
             vec![(0usize, 1usize), (1, 2), (1, 3), (2, 3)],
             vec![(0, 1), (1, 2), (2, 3)],
@@ -144,9 +145,8 @@ mod tests {
         ] {
             let dag = Dag::from_edges(4, &edges).unwrap();
             let cpdag = cpdag_by_compelled_edges(&dag);
-            let (members, truncated) =
-                enumerate_extensions(&dag.to_cpdag(), EnumerateLimit::default());
-            assert!(!truncated);
+            let (members, status) = enumerate_extensions(&dag.to_cpdag(), &Budget::unlimited());
+            assert!(status.is_complete());
             for (u, v) in dag.edges() {
                 let some_member_reverses = members.iter().any(|m| m.has_edge(v, u));
                 assert_eq!(

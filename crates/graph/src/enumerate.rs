@@ -14,42 +14,38 @@
 //!    branching-induced background knowledge.
 //!
 //! The paper caps enumeration ("subject to a maximal enumeration of DAGs");
-//! [`EnumerateLimit`] plays that role.
+//! the [`Budget`] passed in plays that role: one work unit is charged per
+//! accepted DAG, and the deadline/cancellation is ticked at every recursion
+//! node, so a wall-clock budget can interrupt the search even between
+//! results. Exhaustion degrades — the DAGs found so far are returned with a
+//! [`StageStatus::Degraded`] marker rather than an error.
 
 use crate::dag::Dag;
 use crate::pdag::Pdag;
+use guardrail_governor::{Budget, Exhausted, StageStatus};
 
-/// Budget for MEC enumeration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EnumerateLimit {
-    /// Maximum number of DAGs to materialize/count before stopping.
-    pub max_dags: usize,
-}
+/// Stage name reported when enumeration runs out of budget.
+pub const ENUMERATE_STAGE: &str = "mec_enumeration";
 
-impl Default for EnumerateLimit {
-    fn default() -> Self {
-        // The paper observes MEC sizes up to 216 on its 12 datasets; 4096
-        // leaves ample headroom while bounding pathological inputs.
-        Self { max_dags: 4096 }
-    }
-}
-
-/// Enumerates the DAGs in the MEC represented by `cpdag`, up to
-/// `limit.max_dags`. Returns `(dags, truncated)`.
-pub fn enumerate_extensions(cpdag: &Pdag, limit: EnumerateLimit) -> (Vec<Dag>, bool) {
+/// Enumerates the DAGs in the MEC represented by `cpdag` under `budget`
+/// (one work unit per accepted DAG). Returns the DAGs found and whether the
+/// traversal completed or was cut short.
+pub fn enumerate_extensions(cpdag: &Pdag, budget: &Budget) -> (Vec<Dag>, StageStatus) {
     let reference_v = sorted_v_structures(cpdag);
     let mut out = Vec::new();
-    let mut truncated = false;
     let mut work = cpdag.clone();
-    recurse(&mut work, &reference_v, limit.max_dags, &mut out, &mut truncated);
-    (out, truncated)
+    let status = match recurse(&mut work, &reference_v, budget, &mut out) {
+        Ok(()) => StageStatus::Complete,
+        Err(e) => StageStatus::degraded(ENUMERATE_STAGE, e),
+    };
+    (out, status)
 }
 
 /// Counts the DAGs in the MEC (same traversal as [`enumerate_extensions`]
-/// without materializing graphs). Returns `(count, truncated)`.
-pub fn count_extensions(cpdag: &Pdag, limit: EnumerateLimit) -> (usize, bool) {
-    let (dags, truncated) = enumerate_extensions(cpdag, limit);
-    (dags.len(), truncated)
+/// without materializing graphs). Returns `(count, status)`.
+pub fn count_extensions(cpdag: &Pdag, budget: &Budget) -> (usize, StageStatus) {
+    let (dags, status) = enumerate_extensions(cpdag, budget);
+    (dags.len(), status)
 }
 
 fn sorted_v_structures(pdag: &Pdag) -> Vec<(usize, usize, usize)> {
@@ -61,16 +57,14 @@ fn sorted_v_structures(pdag: &Pdag) -> Vec<(usize, usize, usize)> {
 fn recurse(
     pdag: &mut Pdag,
     reference_v: &[(usize, usize, usize)],
-    max: usize,
+    budget: &Budget,
     out: &mut Vec<Dag>,
-    truncated: &mut bool,
-) {
-    if out.len() >= max {
-        *truncated = true;
-        return;
-    }
+) -> Result<(), Exhausted> {
+    // Deadline/cancellation tick per node; also trips once the work cap is
+    // saturated so a capped search stops before expanding further branches.
+    budget.check()?;
     if pdag.has_directed_cycle() {
-        return;
+        return Ok(());
     }
     let undirected = pdag.undirected_edges();
     match undirected.first() {
@@ -79,20 +73,20 @@ fn recurse(
                 // Accept only genuine members of the MEC: same skeleton is
                 // guaranteed by construction; v-structures must match.
                 if sorted_v_structures_of_dag(&dag) == reference_v {
+                    budget.charge(1)?;
                     out.push(dag);
                 }
             }
+            Ok(())
         }
         Some(&(u, v)) => {
             for (a, b) in [(u, v), (v, u)] {
                 let mut branch = pdag.clone();
                 branch.orient(a, b);
                 branch.meek_closure();
-                recurse(&mut branch, reference_v, max, out, truncated);
-                if *truncated {
-                    return;
-                }
+                recurse(&mut branch, reference_v, budget, out)?;
             }
+            Ok(())
         }
     }
 }
@@ -106,10 +100,11 @@ fn sorted_v_structures_of_dag(dag: &Dag) -> Vec<(usize, usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use guardrail_governor::ExhaustionReason;
 
     fn enumerate(cpdag: &Pdag) -> Vec<Dag> {
-        let (dags, truncated) = enumerate_extensions(cpdag, EnumerateLimit::default());
-        assert!(!truncated);
+        let (dags, status) = enumerate_extensions(cpdag, &Budget::unlimited());
+        assert!(status.is_complete());
         dags
     }
 
@@ -183,7 +178,7 @@ mod tests {
     }
 
     #[test]
-    fn truncation_reported() {
+    fn work_cap_degrades_with_partial_results() {
         // Complete undirected K4 has 24 linear extensions; cap at 5.
         let mut p = Pdag::new(4);
         for u in 0..4 {
@@ -191,11 +186,41 @@ mod tests {
                 p.add_undirected(u, v);
             }
         }
-        let (dags, truncated) = enumerate_extensions(&p, EnumerateLimit { max_dags: 5 });
-        assert!(truncated);
+        let budget = Budget::with_work_cap(5);
+        let (dags, status) = enumerate_extensions(&p, &budget);
         assert_eq!(dags.len(), 5);
-        let (count, _) = count_extensions(&p, EnumerateLimit::default());
+        match status {
+            StageStatus::Degraded(d) => {
+                assert_eq!(d.stage, ENUMERATE_STAGE);
+                assert_eq!(d.reason, ExhaustionReason::WorkCapReached);
+                assert_eq!(d.work_done, 5);
+            }
+            StageStatus::Complete => panic!("cap of 5 on a 24-member MEC must degrade"),
+        }
+        let (count, status) = count_extensions(&p, &Budget::unlimited());
         assert_eq!(count, 24);
+        assert!(status.is_complete());
+    }
+
+    #[test]
+    fn exact_cap_is_not_degraded_unless_branches_remain() {
+        // Chain MEC has exactly 3 members. A cap of 3 may or may not leave
+        // unexplored branches; a cap of 4 certainly completes.
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let cpdag = dag.to_cpdag();
+        let (dags, status) = enumerate_extensions(&cpdag, &Budget::with_work_cap(4));
+        assert_eq!(dags.len(), 3);
+        assert!(status.is_complete());
+    }
+
+    #[test]
+    fn expired_deadline_yields_empty_degraded_result() {
+        let mut p = Pdag::new(3);
+        p.add_undirected(0, 1);
+        p.add_undirected(1, 2);
+        let (dags, status) = enumerate_extensions(&p, &Budget::with_deadline(std::time::Duration::ZERO));
+        assert!(dags.is_empty());
+        assert!(!status.is_complete());
     }
 
     #[test]

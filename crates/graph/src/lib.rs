@@ -34,7 +34,7 @@ pub use chickering::cpdag_by_compelled_edges;
 pub use count::acyclic_orientations;
 pub use dag::Dag;
 pub use dsep::d_separated;
-pub use enumerate::{count_extensions, enumerate_extensions, EnumerateLimit};
+pub use enumerate::{count_extensions, enumerate_extensions, ENUMERATE_STAGE};
 pub use nodeset::NodeSet;
 pub use pdag::Pdag;
 

@@ -32,6 +32,10 @@ impl NodeSet {
     }
 
     /// Builds a set from an iterator of node indices.
+    ///
+    /// Inherent (rather than only the [`FromIterator`] impl) so call sites
+    /// don't need the trait in scope.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
         let mut s = NodeSet::EMPTY;
         for i in iter {

@@ -79,8 +79,7 @@ impl FeatureSpace {
         let mut feats = Vec::with_capacity(table.num_rows());
         let mut labels = Vec::with_capacity(table.num_rows());
         let label_codes = table.column(self.label_col).expect("in range").codes();
-        for i in 0..table.num_rows() {
-            let y = label_codes[i];
+        for (i, &y) in label_codes.iter().enumerate() {
             if y == NULL_CODE {
                 continue;
             }

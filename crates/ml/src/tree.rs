@@ -140,6 +140,9 @@ fn build(
     // buckets: XOR-like concepts have zero *marginal* gain on every feature
     // yet become separable one level down (the classic ID3 blind spot).
     let mut best: Option<(usize, f64)> = None;
+    // `feats` is indexed row-major, so the feature index cannot drive the
+    // iteration directly.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..space.num_features() {
         let card = space.card(f);
         if card < 2 {

@@ -39,9 +39,8 @@ pub fn auxiliary_sample<R: Rng>(data: &EncodedData, target_pairs: usize, rng: &m
 
     let mut columns: Vec<Vec<u32>> = vec![Vec::with_capacity(num_shifts * n); d];
     for &s in &shifts {
-        for k in 0..d {
+        for (k, out) in columns.iter_mut().enumerate() {
             let col = data.column(k);
-            let out = &mut columns[k];
             for i in 0..n {
                 let j = (i + s) % n;
                 out.push(u32::from(col[i] == col[j]));

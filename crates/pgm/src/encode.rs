@@ -19,7 +19,7 @@ impl EncodedData {
         let mut cards = Vec::with_capacity(table.num_columns());
         for col in table.columns() {
             let base = col.distinct_count();
-            let has_null = col.codes().iter().any(|&c| c == NULL_CODE);
+            let has_null = col.codes().contains(&NULL_CODE);
             let card = base + usize::from(has_null);
             let codes = col
                 .codes()

@@ -3,7 +3,8 @@
 use crate::aux::auxiliary_sample;
 use crate::encode::EncodedData;
 use crate::oracle::DataOracle;
-use crate::pc::{pc_algorithm, PcConfig};
+use crate::pc::{pc_algorithm_governed, PcConfig};
+use guardrail_governor::{Budget, StageStatus};
 use guardrail_graph::Pdag;
 use guardrail_table::Table;
 use rand::rngs::StdRng;
@@ -66,13 +67,33 @@ impl Default for LearnConfig {
 
 /// Learns the CPDAG of `table`'s Markov equivalence class.
 pub fn learn_cpdag(table: &Table, config: &LearnConfig) -> Pdag {
+    learn_cpdag_governed(table, config, &Budget::unlimited()).0
+}
+
+/// Budgeted [`learn_cpdag`]: the budget governs the CI-test loop of PC.
+pub fn learn_cpdag_governed(
+    table: &Table,
+    config: &LearnConfig,
+    budget: &Budget,
+) -> (Pdag, StageStatus) {
     let encoded = EncodedData::from_table(table);
-    learn_cpdag_encoded(&encoded, config)
+    learn_cpdag_encoded_governed(&encoded, config, budget)
 }
 
 /// Learns a CPDAG from pre-encoded data (entry point shared with the FDX
 /// baseline, which reuses the auxiliary sampler).
 pub fn learn_cpdag_encoded(encoded: &EncodedData, config: &LearnConfig) -> Pdag {
+    learn_cpdag_encoded_governed(encoded, config, &Budget::unlimited()).0
+}
+
+/// Budgeted [`learn_cpdag_encoded`]. Hill climbing converges under its own
+/// iteration bound and reports [`StageStatus::Complete`]; PC charges one work
+/// unit per CI test and degrades to a conservative supergraph skeleton.
+pub fn learn_cpdag_encoded_governed(
+    encoded: &EncodedData,
+    config: &LearnConfig,
+    budget: &Budget,
+) -> (Pdag, StageStatus) {
     let (view, scale) = match config.sampler {
         Sampler::Identity => (encoded.clone(), 1.0),
         Sampler::Auxiliary => {
@@ -92,14 +113,21 @@ pub fn learn_cpdag_encoded(encoded: &EncodedData, config: &LearnConfig) -> Pdag 
         Algorithm::PcStable => {
             let oracle =
                 DataOracle::new(&view).with_alpha(config.alpha).with_statistic_scale(scale);
-            pc_algorithm(&oracle, PcConfig { max_cond_size: config.max_cond_size })
+            pc_algorithm_governed(
+                &oracle,
+                PcConfig { max_cond_size: config.max_cond_size },
+                budget,
+            )
         }
-        Algorithm::HillClimbBic => crate::hillclimb::hill_climb_cpdag(
-            &view,
-            &crate::hillclimb::HillClimbConfig {
-                max_parents: config.max_parents,
-                ..Default::default()
-            },
+        Algorithm::HillClimbBic => (
+            crate::hillclimb::hill_climb_cpdag(
+                &view,
+                &crate::hillclimb::HillClimbConfig {
+                    max_parents: config.max_parents,
+                    ..Default::default()
+                },
+            ),
+            StageStatus::Complete,
         ),
     }
 }

@@ -142,6 +142,39 @@ impl IndependenceOracle for DagOracle {
     }
 }
 
+/// Wraps an oracle with deterministic busy-work per query — a reproducible
+/// stand-in for expensive CI tests (large conditioning sets, disk-backed
+/// data) used to exercise wall-clock deadlines in robustness tests without
+/// depending on sleeps or machine speed.
+#[derive(Debug, Clone)]
+pub struct SlowOracle<O> {
+    inner: O,
+    spin: u64,
+}
+
+impl<O> SlowOracle<O> {
+    /// Wraps `inner`, spinning `spin` iterations of opaque arithmetic before
+    /// delegating each query.
+    pub fn new(inner: O, spin: u64) -> Self {
+        Self { inner, spin }
+    }
+}
+
+impl<O: IndependenceOracle> IndependenceOracle for SlowOracle<O> {
+    fn independent(&self, x: usize, y: usize, z: NodeSet) -> bool {
+        let mut acc = (x as u64) ^ (y as u64).rotate_left(17);
+        for i in 0..self.spin {
+            acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i));
+        }
+        std::hint::black_box(acc);
+        self.inner.independent(x, y, z)
+    }
+
+    fn num_vars(&self) -> usize {
+        self.inner.num_vars()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

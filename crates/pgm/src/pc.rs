@@ -13,8 +13,12 @@
 //! 3. **Meek closure**: propagate compelled orientations (R1–R3).
 
 use crate::oracle::IndependenceOracle;
+use guardrail_governor::{Budget, Exhausted, StageStatus};
 use guardrail_graph::{NodeSet, Pdag};
 use std::collections::HashMap;
+
+/// Stage name reported when the CI-test loop runs out of budget.
+pub const PC_STAGE: &str = "pc_skeleton";
 
 /// PC algorithm configuration.
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +37,22 @@ impl Default for PcConfig {
 
 /// Runs PC-stable against `oracle`, returning the learned CPDAG.
 pub fn pc_algorithm<O: IndependenceOracle>(oracle: &O, config: PcConfig) -> Pdag {
+    pc_algorithm_governed(oracle, config, &Budget::unlimited()).0
+}
+
+/// Budgeted PC-stable: one work unit per CI test.
+///
+/// When the budget runs out mid-skeleton, refinement stops where it is and
+/// the remaining phases (v-structures, Meek closure) still run on the
+/// current adjacency — those are polynomial and cheap. The result is a
+/// valid, conservative CPDAG over a *supergraph* skeleton: un-tested edges
+/// survive, so degradation can only keep constraints it has no evidence to
+/// remove, never invent independence.
+pub fn pc_algorithm_governed<O: IndependenceOracle>(
+    oracle: &O,
+    config: PcConfig,
+    budget: &Budget,
+) -> (Pdag, StageStatus) {
     let n = oracle.num_vars();
     let mut adj: Vec<NodeSet> = (0..n)
         .map(|i| {
@@ -44,47 +64,15 @@ pub fn pc_algorithm<O: IndependenceOracle>(oracle: &O, config: PcConfig) -> Pdag
     let mut sepsets: HashMap<(usize, usize), NodeSet> = HashMap::new();
 
     // Phase 1: skeleton.
-    for level in 0..=config.max_cond_size {
-        // Snapshot adjacencies for order independence (PC-stable).
-        let snapshot = adj.clone();
-        let mut any_candidate = false;
-        for x in 0..n {
-            for y in snapshot[x].iter() {
-                if y < x || !adj[x].contains(y) {
-                    continue; // handle each unordered pair once per level
-                }
-                let mut removed = false;
-                for (a, b) in [(x, y), (y, x)] {
-                    let mut pool = snapshot[a];
-                    pool.remove(b);
-                    if pool.len() < level {
-                        continue;
-                    }
-                    any_candidate = true;
-                    for s in pool.subsets_of_size(level) {
-                        if oracle.independent(a, b, s) {
-                            adj[x].remove(y);
-                            adj[y].remove(x);
-                            sepsets.insert(key(x, y), s);
-                            removed = true;
-                            break;
-                        }
-                    }
-                    if removed {
-                        break;
-                    }
-                }
-            }
-        }
-        if !any_candidate && level > 0 {
-            break; // no pair has enough neighbors for larger sets
-        }
-    }
+    let status = match refine_skeleton(oracle, config, budget, &mut adj, &mut sepsets) {
+        Ok(()) => StageStatus::Complete,
+        Err(e) => StageStatus::degraded(PC_STAGE, e),
+    };
 
     // Phase 2: v-structures.
     let mut pdag = Pdag::new(n);
-    for x in 0..n {
-        for y in adj[x].iter() {
+    for (x, neighbors) in adj.iter().enumerate() {
+        for y in neighbors.iter() {
             if x < y {
                 pdag.add_undirected(x, y);
             }
@@ -118,7 +106,58 @@ pub fn pc_algorithm<O: IndependenceOracle>(oracle: &O, config: PcConfig) -> Pdag
 
     // Phase 3: Meek closure.
     pdag.meek_closure();
-    pdag
+    (pdag, status)
+}
+
+/// Level-wise PC-stable skeleton refinement, charging `budget` one unit per
+/// CI test. Leaves `adj`/`sepsets` in a consistent partial state on
+/// exhaustion.
+fn refine_skeleton<O: IndependenceOracle>(
+    oracle: &O,
+    config: PcConfig,
+    budget: &Budget,
+    adj: &mut [NodeSet],
+    sepsets: &mut HashMap<(usize, usize), NodeSet>,
+) -> Result<(), Exhausted> {
+    let n = oracle.num_vars();
+    for level in 0..=config.max_cond_size {
+        // Snapshot adjacencies for order independence (PC-stable).
+        let snapshot = adj.to_vec();
+        let mut any_candidate = false;
+        for x in 0..n {
+            for y in snapshot[x].iter() {
+                if y < x || !adj[x].contains(y) {
+                    continue; // handle each unordered pair once per level
+                }
+                let mut removed = false;
+                for (a, b) in [(x, y), (y, x)] {
+                    let mut pool = snapshot[a];
+                    pool.remove(b);
+                    if pool.len() < level {
+                        continue;
+                    }
+                    any_candidate = true;
+                    for s in pool.subsets_of_size(level) {
+                        budget.charge(1)?;
+                        if oracle.independent(a, b, s) {
+                            adj[x].remove(y);
+                            adj[y].remove(x);
+                            sepsets.insert(key(x, y), s);
+                            removed = true;
+                            break;
+                        }
+                    }
+                    if removed {
+                        break;
+                    }
+                }
+            }
+        }
+        if !any_candidate && level > 0 {
+            break; // no pair has enough neighbors for larger sets
+        }
+    }
+    Ok(())
 }
 
 fn key(x: usize, y: usize) -> (usize, usize) {

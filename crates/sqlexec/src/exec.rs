@@ -126,7 +126,7 @@ impl<'a> Executor<'a> {
                 .iter()
                 .map(|(e, o)| format!("{e} {:?}", o).to_uppercase())
                 .collect();
-            out.push_str(&format!("  Sort: {}\n", keys.join(", ").replace("ASC", "ASC").replace("DESC", "DESC")));
+            out.push_str(&format!("  Sort: {}\n", keys.join(", ")));
         }
         if let Some(l) = query.limit {
             out.push_str(&format!("  Limit: {l}\n"));
@@ -234,7 +234,6 @@ impl<'a> Executor<'a> {
                 for &(_, expr, name) in &scalar_projections {
                     computed.push((name.to_string(), eval(expr, &env)?));
                 }
-                drop(env);
                 aliases.extend(computed);
             }
             // Residual predicate.

@@ -8,8 +8,8 @@
 
 use crate::fill::FilledStatement;
 use crate::sketch::StatementSketch;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Hit/miss counters for reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,30 +57,48 @@ impl StatementCache {
     where
         F: FnOnce() -> Option<FilledStatement>,
     {
+        match self.try_get_or_fill(sketch, || Ok::<_, std::convert::Infallible>(fill())) {
+            Ok(outcome) => outcome,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible [`get_or_fill`](Self::get_or_fill) for budget-governed
+    /// fills: a fill aborted by exhaustion propagates its error and is *not*
+    /// memoized (an aborted scan says nothing about the sketch), so a later
+    /// run with budget left can still fill it.
+    pub fn try_get_or_fill<F, E>(
+        &self,
+        sketch: &StatementSketch,
+        fill: F,
+    ) -> Result<Option<FilledStatement>, E>
+    where
+        F: FnOnce() -> Result<Option<FilledStatement>, E>,
+    {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = inner.map.get(sketch).cloned() {
                 inner.stats.hits += 1;
-                return hit;
+                return Ok(hit);
             }
             inner.stats.misses += 1;
         }
         // Fill outside the lock: concurrent misses on the same key may
         // duplicate work but never block each other on a long scan.
-        let result = fill();
-        let mut inner = self.inner.lock();
+        let result = fill()?;
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.map.entry(sketch.clone()).or_insert_with(|| result.clone());
-        result
+        Ok(result)
     }
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats
     }
 
     /// Number of memoized sketches.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
     }
 
     /// `true` when nothing has been memoized.

@@ -13,8 +13,17 @@
 
 use crate::sketch::{ProgramSketch, StatementSketch};
 use guardrail_dsl::ast::{Branch, Condition, Program, Statement};
+use guardrail_governor::{Budget, Exhausted};
 use guardrail_table::{Table, NULL_CODE};
 use std::collections::HashMap;
+
+/// Stage name reported when a fill runs out of budget.
+pub const FILL_STAGE: &str = "sketch_fill";
+
+/// Rows grouped per budget charge: fine enough that a deadline interrupts a
+/// scan within microseconds, coarse enough that the atomic is off the
+/// per-row hot path.
+const CHARGE_CHUNK: u64 = 4096;
 
 /// A concretized statement together with its quality statistics.
 #[derive(Debug, Clone)]
@@ -36,10 +45,26 @@ pub fn fill_statement_sketch(
     sketch: &StatementSketch,
     epsilon: f64,
 ) -> Option<FilledStatement> {
+    match fill_statement_sketch_governed(table, sketch, epsilon, &Budget::unlimited()) {
+        Ok(outcome) => outcome,
+        Err(_) => unreachable!("unlimited budget never exhausts"),
+    }
+}
+
+/// Budgeted [`fill_statement_sketch`]: one work unit per row grouped,
+/// charged in chunks of [`CHARGE_CHUNK`]. On exhaustion the partial scan is
+/// discarded (granularity is the whole statement — callers keep previously
+/// filled statements and degrade).
+pub fn fill_statement_sketch_governed(
+    table: &Table,
+    sketch: &StatementSketch,
+    epsilon: f64,
+    budget: &Budget,
+) -> Result<Option<FilledStatement>, Exhausted> {
     assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0,1)");
     let n = table.num_rows();
     if n == 0 {
-        return None;
+        return Ok(None);
     }
     let det_cols: Vec<&[u32]> = sketch
         .given
@@ -49,39 +74,85 @@ pub fn fill_statement_sketch(
     let dep_codes = table.column(sketch.on).expect("sketch column in range").codes();
 
     // Single grouping pass: determinant valuation → dependent-code counts.
-    // Keys pack determinant codes mixed-radix into a u128 (cardinality
-    // products beyond u128 are unreachable for real schemas).
+    // Keys pack determinant codes mixed-radix into a u128 when the key space
+    // fits; adversarially wide / high-cardinality schemas overflow u128, so
+    // those fall back to hashing the code vectors directly — slower, but
+    // graceful instead of panicking on hostile input.
     let cards: Vec<u128> = sketch
         .given
         .iter()
         .map(|&c| table.column(c).expect("in range").distinct_count() as u128 + 1)
         .collect();
-    let mut groups: HashMap<u128, HashMap<u32, u32>> = HashMap::new();
-    'rows: for row in 0..n {
-        let mut key: u128 = 0;
-        for (col, &card) in det_cols.iter().zip(&cards) {
-            let code = col[row];
-            if code == NULL_CODE {
-                continue 'rows; // conditions never assert over missing cells
-            }
-            key = key
-                .checked_mul(card)
-                .and_then(|k| k.checked_add(code as u128))
-                .expect("determinant key overflow");
-        }
-        *groups.entry(key).or_default().entry(dep_codes[row]).or_default() += 1;
-    }
+    let packable = cards.iter().try_fold(1u128, |acc, &c| acc.checked_mul(c)).is_some();
 
-    // Deterministic branch order: sort groups by key.
-    let mut ordered: Vec<(u128, HashMap<u32, u32>)> = groups.into_iter().collect();
-    ordered.sort_unstable_by_key(|(k, _)| *k);
+    // Groups as (determinant codes, dependent counts), sorted for
+    // deterministic branch order. Lexicographic order of the code vectors
+    // equals numeric order of the packed keys (same most-significant-first
+    // radix), so both paths produce identical programs.
+    let mut pending: u64 = 0;
+    let mut ordered: Vec<(Vec<u32>, HashMap<u32, u32>)> = if packable {
+        let mut groups: HashMap<u128, HashMap<u32, u32>> = HashMap::new();
+        'rows: for row in 0..n {
+            pending += 1;
+            if pending == CHARGE_CHUNK {
+                budget.charge(pending)?;
+                pending = 0;
+            }
+            let mut key: u128 = 0;
+            for (col, &card) in det_cols.iter().zip(&cards) {
+                let code = col[row];
+                if code == NULL_CODE {
+                    continue 'rows; // conditions never assert over missing cells
+                }
+                // In range: every code < card and Π cards fits in u128.
+                key = key * card + code as u128;
+            }
+            *groups.entry(key).or_default().entry(dep_codes[row]).or_default() += 1;
+        }
+        groups
+            .into_iter()
+            .map(|(key, counts)| {
+                // Decode the determinant valuation back out of the packed key.
+                let mut codes = vec![0u32; cards.len()];
+                let mut rem = key;
+                for (slot, &card) in codes.iter_mut().zip(&cards).rev() {
+                    *slot = (rem % card) as u32;
+                    rem /= card;
+                }
+                (codes, counts)
+            })
+            .collect()
+    } else {
+        let mut groups: HashMap<Vec<u32>, HashMap<u32, u32>> = HashMap::new();
+        'rows: for row in 0..n {
+            pending += 1;
+            if pending == CHARGE_CHUNK {
+                budget.charge(pending)?;
+                pending = 0;
+            }
+            let mut codes = Vec::with_capacity(det_cols.len());
+            for col in &det_cols {
+                let code = col[row];
+                if code == NULL_CODE {
+                    continue 'rows;
+                }
+                codes.push(code);
+            }
+            *groups.entry(codes).or_default().entry(dep_codes[row]).or_default() += 1;
+        }
+        groups.into_iter().collect()
+    };
+    if pending > 0 {
+        budget.charge(pending)?;
+    }
+    ordered.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
 
     let schema = table.schema();
     let name = |i: usize| schema.field(i).expect("in range").name().to_string();
     let mut branches = Vec::new();
     let mut support = 0usize;
     let mut total_loss = 0usize;
-    for (key, counts) in ordered {
+    for (codes, counts) in ordered {
         let group_size: u32 = counts.values().sum();
         // Best-fit literal: the dependent mode (ties toward the lower code
         // for determinism). Skip groups whose mode is a missing value.
@@ -96,16 +167,11 @@ pub fn fill_statement_sketch(
         if (loss as f64) > (group_size as f64) * epsilon {
             continue; // not ε-valid
         }
-        // Decode the determinant valuation back out of the packed key.
         let mut conjuncts = Vec::with_capacity(sketch.given.len());
-        let mut rem = key;
-        for (&col, &card) in sketch.given.iter().zip(&cards).rev() {
-            let code = (rem % card) as u32;
-            rem /= card;
+        for (&col, &code) in sketch.given.iter().zip(&codes) {
             let value = table.column(col).expect("in range").dictionary().decode(code);
             conjuncts.push((name(col), value));
         }
-        conjuncts.reverse();
         let literal = table.column(sketch.on).expect("in range").dictionary().decode(mode);
         branches.push(Branch {
             condition: Condition::new(conjuncts),
@@ -117,17 +183,17 @@ pub fn fill_statement_sketch(
     }
 
     if branches.is_empty() {
-        return None;
+        return Ok(None);
     }
     let statement =
         Statement { given: sketch.given.iter().map(|&c| name(c)).collect(), on: name(sketch.on), branches };
     debug_assert!(statement.validate().is_ok());
-    Some(FilledStatement {
+    Ok(Some(FilledStatement {
         statement,
         support,
         loss: total_loss,
         coverage: support as f64 / n as f64,
-    })
+    }))
 }
 
 /// Fills a whole program sketch (Alg. 1). Statements that fill to `⊥` are
@@ -267,6 +333,49 @@ mod tests {
         assert_eq!(filled.len(), 1);
         assert_eq!(program.statements[0].on, "b");
         assert!((filled_coverage(&filled) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_determinant_key_overflow_falls_back_gracefully() {
+        // 48 determinant columns with 8 distinct values each: the mixed-radix
+        // key space is 9^48 ≫ u128::MAX, which the packed path cannot
+        // represent. The vector-key fallback must fill it without panicking.
+        let cols = 48usize;
+        let mut header: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+        header.push("dep".into());
+        let mut csv = header.join(",");
+        csv.push('\n');
+        for row in 0..32 {
+            let v = row % 8;
+            let mut cells: Vec<String> = (0..cols).map(|c| ((v + c) % 8).to_string()).collect();
+            cells.push(format!("d{v}"));
+            csv.push_str(&cells.join(","));
+            csv.push('\n');
+        }
+        let t = Table::from_csv_str(&csv).unwrap();
+        let sketch = StatementSketch::new((0..cols).collect(), cols);
+        let f = fill_statement_sketch(&t, &sketch, 0.0).unwrap();
+        assert_eq!(f.statement.branches.len(), 8);
+        assert_eq!(f.loss, 0);
+        assert_eq!(f.support, 32);
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_fill() {
+        use guardrail_governor::{Budget, ExhaustionReason};
+        let t = zip_city_table();
+        let sketch = StatementSketch::new(vec![0], 1);
+        // 8 rows to scan; a 2-unit cap trips on the first (batched) charge.
+        let err = fill_statement_sketch_governed(&t, &sketch, 0.25, &Budget::with_work_cap(2))
+            .unwrap_err();
+        assert_eq!(err.reason, ExhaustionReason::WorkCapReached);
+        // An ample cap completes and matches the ungoverned fill.
+        let governed =
+            fill_statement_sketch_governed(&t, &sketch, 0.25, &Budget::with_work_cap(100))
+                .unwrap()
+                .unwrap();
+        let plain = fill_statement_sketch(&t, &sketch, 0.25).unwrap();
+        assert_eq!(governed.statement, plain.statement);
     }
 
     #[test]

@@ -10,21 +10,22 @@
 //! Per-DAG fills share the statement cache (§7) because DAGs in one MEC
 //! differ only in reversible-edge orientation — most parent sets repeat.
 //! With `parallel` enabled the per-DAG work is spread over worker threads
-//! (crossbeam scoped threads; the cache is `Sync`).
+//! (std scoped threads; the cache is `Sync`).
 
 use crate::cache::{CacheStats, StatementCache};
 use crate::config::SynthesisConfig;
-use crate::fill::{fill_statement_sketch, filled_coverage, FilledStatement};
+use crate::fill::{fill_statement_sketch_governed, FilledStatement, FILL_STAGE};
 use crate::sketch::ProgramSketch;
 use guardrail_dsl::ast::Program;
+use guardrail_governor::{Budget, DegradationReport, StageStatus};
 use guardrail_graph::{enumerate_extensions, Dag, Pdag};
-use guardrail_pgm::learn_cpdag;
+use guardrail_pgm::learn_cpdag_governed;
 use guardrail_table::Table;
 
 /// Result of an end-to-end synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthesisOutcome {
-    /// The max-coverage ε-valid program `p*`.
+    /// The max-coverage ε-valid program `p*` found within budget.
     pub program: Program,
     /// Coverage of `p*` (average statement coverage).
     pub coverage: f64,
@@ -32,7 +33,7 @@ pub struct SynthesisOutcome {
     pub cpdag: Pdag,
     /// Number of DAGs enumerated from the MEC.
     pub mec_size: usize,
-    /// Whether enumeration hit the budget.
+    /// Whether enumeration hit its cap or the run's budget.
     pub truncated: bool,
     /// The DAG whose sketch produced `p*` (`None` when the MEC is empty).
     pub chosen_dag: Option<Dag>,
@@ -40,13 +41,34 @@ pub struct SynthesisOutcome {
     pub cache_stats: CacheStats,
     /// Per-statement fill statistics of the winning program.
     pub statements: Vec<FilledStatement>,
+    /// Which pipeline stages (if any) ran out of budget. An exhausted run is
+    /// not an error: `program` is the best result found so far.
+    pub degradation: DegradationReport,
 }
 
 /// Learns a CPDAG from `table` and synthesizes the optimal program (sketch
 /// learning + Alg. 2).
 pub fn synthesize(table: &Table, config: &SynthesisConfig) -> SynthesisOutcome {
-    let cpdag = learn_cpdag(table, &config.learn);
-    synthesize_from_cpdag(table, &cpdag, config)
+    synthesize_governed(table, config, &Budget::unlimited())
+}
+
+/// Budgeted [`synthesize`]: structure learning, MEC enumeration, and sketch
+/// fills all charge `budget`, and each stage degrades to its best partial
+/// result on exhaustion (recorded in
+/// [`degradation`](SynthesisOutcome::degradation)).
+pub fn synthesize_governed(
+    table: &Table,
+    config: &SynthesisConfig,
+    budget: &Budget,
+) -> SynthesisOutcome {
+    let mut degradation = DegradationReport::complete();
+    let (cpdag, learn_status) = learn_cpdag_governed(table, &config.learn, budget);
+    degradation.record(learn_status);
+    let mut outcome = synthesize_from_cpdag_governed(table, &cpdag, config, budget);
+    degradation
+        .merge(std::mem::replace(&mut outcome.degradation, DegradationReport::complete()));
+    outcome.degradation = degradation;
+    outcome
 }
 
 /// Alg. 2 proper: synthesis given an already-learned CPDAG.
@@ -55,30 +77,74 @@ pub fn synthesize_from_cpdag(
     cpdag: &Pdag,
     config: &SynthesisConfig,
 ) -> SynthesisOutcome {
-    let (dags, truncated) = enumerate_extensions(cpdag, config.enumerate);
+    synthesize_from_cpdag_governed(table, cpdag, config, &Budget::unlimited())
+}
+
+/// Budgeted [`synthesize_from_cpdag`].
+pub fn synthesize_from_cpdag_governed(
+    table: &Table,
+    cpdag: &Pdag,
+    config: &SynthesisConfig,
+    budget: &Budget,
+) -> SynthesisOutcome {
+    let mut degradation = DegradationReport::complete();
+    // Enumeration runs under a child cap so `max_dags` bounds the MEC even
+    // on an otherwise unlimited budget (one work unit per accepted DAG).
+    let enum_budget = budget.child(Some(config.max_dags as u64));
+    let (dags, enum_status) = enumerate_extensions(cpdag, &enum_budget);
+    let truncated = !enum_status.is_complete();
+    degradation.record(enum_status);
     let cache = StatementCache::new();
 
-    let fill_dag = |dag: &Dag| -> (f64, Vec<FilledStatement>) {
+    let fill_dag = |dag: &Dag| -> (f64, Vec<FilledStatement>, StageStatus) {
         let sketch = ProgramSketch::from_dag(dag);
         let mut filled = Vec::with_capacity(sketch.len());
-        for s in &sketch.statements {
+        let mut status = StageStatus::Complete;
+        let mut skipped = 0usize;
+        for (i, s) in sketch.statements.iter().enumerate() {
             let outcome = if config.use_cache {
-                cache.get_or_fill(s, || fill_statement_sketch(table, s, config.epsilon))
+                cache.try_get_or_fill(s, || {
+                    fill_statement_sketch_governed(table, s, config.epsilon, budget)
+                })
             } else {
-                fill_statement_sketch(table, s, config.epsilon)
+                fill_statement_sketch_governed(table, s, config.epsilon, budget)
             };
-            if let Some(f) = outcome {
-                filled.push(f);
+            match outcome {
+                Ok(Some(f)) => filled.push(f),
+                Ok(None) => {}
+                Err(e) => {
+                    // Anytime: keep this DAG's statements filled so far and
+                    // skip the rest — the argmax below still sees a valid
+                    // (partial) candidate program.
+                    status = StageStatus::degraded(FILL_STAGE, e);
+                    skipped = sketch.statements.len() - i;
+                    break;
+                }
             }
         }
-        (filled_coverage(&filled), filled)
+        // Budget-skipped statements count as zeros in the average, so a
+        // partial fill never scores above the complete fill of the same DAG
+        // (⊥ statements stay excluded, exactly as in an unbudgeted run).
+        let coverage = if filled.is_empty() {
+            0.0
+        } else {
+            filled.iter().map(|f| f.coverage).sum::<f64>() / (filled.len() + skipped) as f64
+        };
+        (coverage, filled, status)
     };
 
-    let results: Vec<(f64, Vec<FilledStatement>)> = if config.parallel && dags.len() > 1 {
-        parallel_map(&dags, &fill_dag)
-    } else {
-        dags.iter().map(|d| fill_dag(d)).collect()
-    };
+    let results: Vec<(f64, Vec<FilledStatement>, StageStatus)> =
+        if config.parallel && dags.len() > 1 {
+            parallel_map(&dags, &fill_dag)
+        } else {
+            dags.iter().map(&fill_dag).collect()
+        };
+
+    // The budget is shared, so once it exhausts every remaining fill trips
+    // on it; reporting the first degraded fill covers the stage.
+    if let Some((_, _, status)) = results.iter().find(|(_, _, s)| !s.is_complete()) {
+        degradation.record(status.clone());
+    }
 
     // argmax coverage; ties break toward more statements (a program that
     // constrains more attributes at equal coverage has strictly more
@@ -86,7 +152,7 @@ pub fn synthesize_from_cpdag(
     let best = results
         .iter()
         .enumerate()
-        .max_by(|(ia, (ca, fa)), (ib, (cb, fb))| {
+        .max_by(|(ia, (ca, fa, _)), (ib, (cb, fb, _))| {
             ca.partial_cmp(cb)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(fa.len().cmp(&fb.len()))
@@ -96,7 +162,7 @@ pub fn synthesize_from_cpdag(
 
     let (coverage, statements, chosen_dag) = match best {
         Some(i) => {
-            let (c, f) = results[i].clone();
+            let (c, f, _) = results[i].clone();
             (c, f, Some(dags[i].clone()))
         }
         None => (0.0, Vec::new(), None),
@@ -111,6 +177,7 @@ pub fn synthesize_from_cpdag(
         chosen_dag,
         cache_stats: cache.stats(),
         statements,
+        degradation,
     }
 }
 
@@ -121,16 +188,16 @@ fn parallel_map<T: Sync, R: Send>(items: &[T], f: &(impl Fn(&T) -> R + Sync)) ->
     let workers = workers.min(items.len()).max(1);
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let chunk = items.len().div_ceil(workers);
-    crossbeam::scope(|scope| {
+    // std::thread::scope re-raises worker panics when the scope closes.
+    std::thread::scope(|scope| {
         for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("synthesis worker panicked");
+    });
     results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
@@ -220,6 +287,53 @@ mod tests {
         assert_eq!(seq.coverage, par.coverage);
         let nocache = synthesize(&table, &SynthesisConfig { use_cache: false, ..config() });
         assert_eq!(seq.program, nocache.program);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_ungoverned() {
+        let table = chain_table(1000);
+        let a = synthesize(&table, &config());
+        let b = synthesize_governed(&table, &config(), &Budget::unlimited());
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.coverage, b.coverage);
+        assert!(b.degradation.is_complete());
+        assert!(!b.truncated);
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_valid_outcome() {
+        let table = chain_table(500);
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let outcome = synthesize_governed(&table, &config(), &budget);
+        assert!(!outcome.degradation.is_complete());
+        // No DAG survives a dead budget, so the anytime result is empty —
+        // but it is a result, not a panic or an error.
+        assert!(outcome.program.statements.is_empty());
+        assert_eq!(outcome.coverage, 0.0);
+    }
+
+    #[test]
+    fn work_capped_budget_yields_subset_quality() {
+        // At a fixed CPDAG, a budget can only drop DAGs from the argmax or
+        // truncate fills (scored with skipped statements as zeros), so the
+        // degraded coverage never exceeds the unbudgeted optimum.
+        let table = chain_table(1500);
+        let cpdag = guardrail_pgm::learn_cpdag(&table, &config().learn);
+        let full = synthesize_from_cpdag(&table, &cpdag, &config());
+        for cap in [1, 10, 1000, 100_000] {
+            let degraded = synthesize_from_cpdag_governed(
+                &table,
+                &cpdag,
+                &config(),
+                &Budget::with_work_cap(cap),
+            );
+            assert!(
+                degraded.coverage <= full.coverage + 1e-12,
+                "cap {cap}: degraded coverage {} > full {}",
+                degraded.coverage,
+                full.coverage
+            );
+        }
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! baseline enumerates **every** candidate statement sketch (all
 //! `(determinant set, dependent)` pairs up to `max_given_size`) and accounts
 //! one *constraint* per (candidate branch × covered row) — the unit of work
-//! an OptSMT encoding pays per soft clause. A configurable constraint budget
-//! plays the role of the wall-clock timeout.
+//! an OptSMT encoding pays per soft clause. The run's [`Budget`] plays the
+//! role of the wall-clock timeout: constraints are charged as work units, so
+//! either a work cap (the classic "constraint budget") or a deadline trips
+//! the search into [`OptSmtOutcome::Timeout`].
 //!
 //! On tiny inputs the search completes and yields the loss-minimal program;
 //! on realistic schemas the budget trips first, which is the paper's point.
@@ -16,7 +18,15 @@
 use crate::fill::{fill_statement_sketch, FilledStatement};
 use crate::sketch::StatementSketch;
 use guardrail_dsl::ast::Program;
+use guardrail_governor::Budget;
 use guardrail_table::Table;
+
+/// Stage name for the baseline's constraint generation.
+pub const OPTSMT_STAGE: &str = "optsmt_constraints";
+
+/// The constraint cap standing in for the paper's 24-hour timeout; pair it
+/// with [`Budget::with_work_cap`] for the classic configuration.
+pub const DEFAULT_CONSTRAINT_CAP: u64 = 5_000_000;
 
 /// Baseline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -25,13 +35,11 @@ pub struct OptSmtConfig {
     pub epsilon: f64,
     /// Largest determinant set enumerated.
     pub max_given_size: usize,
-    /// Constraint budget standing in for the 24-hour timeout.
-    pub budget_constraints: u64,
 }
 
 impl Default for OptSmtConfig {
     fn default() -> Self {
-        Self { epsilon: 0.02, max_given_size: 3, budget_constraints: 5_000_000 }
+        Self { epsilon: 0.02, max_given_size: 3 }
     }
 }
 
@@ -79,8 +87,13 @@ fn binomial(n: usize, k: usize) -> u64 {
     result
 }
 
-/// Runs the sketch-free baseline.
-pub fn optsmt_synthesize(table: &Table, config: &OptSmtConfig) -> OptSmtOutcome {
+/// Runs the sketch-free baseline under `budget` (one work unit per generated
+/// constraint).
+pub fn optsmt_synthesize(
+    table: &Table,
+    config: &OptSmtConfig,
+    budget: &Budget,
+) -> OptSmtOutcome {
     let attrs = table.num_columns();
     let rows = table.num_rows() as u64;
     let search_space = candidate_space(attrs, config.max_given_size);
@@ -90,7 +103,7 @@ pub fn optsmt_synthesize(table: &Table, config: &OptSmtConfig) -> OptSmtOutcome 
     // Best ε-valid statement per dependent, by coverage.
     let mut best: Vec<Option<FilledStatement>> = vec![None; attrs];
 
-    for on in 0..attrs {
+    for (on, slot) in best.iter_mut().enumerate() {
         let others: Vec<usize> = (0..attrs).filter(|&a| a != on).collect();
         for size in 1..=config.max_given_size.min(others.len()) {
             for combo in combinations(&others, size) {
@@ -104,17 +117,18 @@ pub fn optsmt_synthesize(table: &Table, config: &OptSmtConfig) -> OptSmtOutcome 
                     .as_ref()
                     .map(|f| (f.statement.branches.len() as u64).saturating_mul(f.support as u64))
                     .unwrap_or(0);
-                constraints = constraints.saturating_add(rows).saturating_add(branch_cost);
-                if constraints > config.budget_constraints {
+                let cost = rows.saturating_add(branch_cost);
+                constraints = constraints.saturating_add(cost);
+                if budget.charge(cost).is_err() {
                     return OptSmtOutcome::Timeout { constraints, candidates, search_space };
                 }
                 if let Some(f) = filled {
-                    let better = match &best[on] {
+                    let better = match &*slot {
                         None => true,
                         Some(cur) => f.coverage > cur.coverage,
                     };
                     if better {
-                        best[on] = Some(f);
+                        *slot = Some(f);
                     }
                 }
             }
@@ -170,7 +184,8 @@ mod tests {
 
     #[test]
     fn solves_tiny_instance() {
-        match optsmt_synthesize(&tiny_table(), &OptSmtConfig::default()) {
+        let budget = Budget::with_work_cap(DEFAULT_CONSTRAINT_CAP);
+        match optsmt_synthesize(&tiny_table(), &OptSmtConfig::default(), &budget) {
             OptSmtOutcome::Solved { program, coverage, constraints, candidates } => {
                 assert!(coverage > 0.99);
                 assert!(!program.statements.is_empty());
@@ -185,7 +200,8 @@ mod tests {
     fn times_out_under_budget() {
         let out = optsmt_synthesize(
             &tiny_table(),
-            &OptSmtConfig { budget_constraints: 3, ..Default::default() },
+            &OptSmtConfig::default(),
+            &Budget::with_work_cap(3),
         );
         match out {
             OptSmtOutcome::Timeout { constraints, search_space, .. } => {
@@ -214,7 +230,7 @@ mod tests {
         // The baseline has no MEC guidance: with a = b exactly it keeps one
         // statement per dependent, i.e. both a→b and b→a (the saturated
         // program p₂ failure mode of Example 3.1).
-        match optsmt_synthesize(&tiny_table(), &OptSmtConfig::default()) {
+        match optsmt_synthesize(&tiny_table(), &OptSmtConfig::default(), &Budget::unlimited()) {
             OptSmtOutcome::Solved { program, .. } => {
                 assert_eq!(program.statements.len(), 2, "{program}");
             }

@@ -9,7 +9,6 @@ use crate::error::TableError;
 use crate::table::{Table, TableBuilder};
 use crate::value::Value;
 use crate::Result;
-use bytes::Bytes;
 use std::io::Write;
 use std::path::Path;
 
@@ -78,11 +77,11 @@ fn parse_record(data: &[u8], mut pos: usize, line: usize) -> Result<(Vec<String>
 impl Table {
     /// Parses a table from CSV text. The first record is the header.
     pub fn from_csv_str(csv: &str) -> Result<Table> {
-        Self::from_csv_bytes(Bytes::copy_from_slice(csv.as_bytes()))
+        Self::from_csv_bytes(csv.as_bytes())
     }
 
     /// Parses a table from CSV bytes. The first record is the header.
-    pub fn from_csv_bytes(data: Bytes) -> Result<Table> {
+    pub fn from_csv_bytes(data: impl AsRef<[u8]>) -> Result<Table> {
         let bytes = data.as_ref();
         if bytes.is_empty() {
             return Err(TableError::Empty);
@@ -115,7 +114,7 @@ impl Table {
     /// Reads a CSV file from disk.
     pub fn from_csv_path(path: impl AsRef<Path>) -> Result<Table> {
         let data = std::fs::read(path)?;
-        Self::from_csv_bytes(Bytes::from(data))
+        Self::from_csv_bytes(data)
     }
 
     /// Serializes the table to CSV text (header + rows).

@@ -12,7 +12,7 @@ use std::sync::Arc;
 /// data type records what the underlying values look like so that the SQL
 /// layer can type-check aggregates and the dataset generators can decide which
 /// columns are sensible aggregation targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Boolean-valued column.
     Bool,

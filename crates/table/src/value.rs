@@ -8,7 +8,7 @@ use std::fmt;
 /// The DSL's `Literal` production (`String ∪ Number ∪ Boolean`, Fig. 2 of the
 /// paper) maps directly onto this enum, with `Null` added to represent missing
 /// data and the `coerce` error-handling scheme's NaN-like placeholder.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Missing / coerced value.
     Null,

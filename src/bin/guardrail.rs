@@ -1,7 +1,8 @@
 //! The `guardrail` command-line tool.
 //!
 //! ```text
-//! guardrail synth <clean.csv> [--epsilon E] [--output constraints.gr]
+//! guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N]
+//!                  [--output constraints.gr]
 //! guardrail check <data.csv> --constraints <constraints.gr>
 //! guardrail repair <data.csv> --constraints <constraints.gr>
 //!                  [--scheme coerce|rectify] [--output fixed.csv]
@@ -41,11 +42,14 @@ const USAGE: &str = "\
 guardrail — integrity constraint synthesis from noisy data
 
 USAGE:
-  guardrail synth <clean.csv> [--epsilon E] [--output constraints.gr]
+  guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N] [--output constraints.gr]
   guardrail check <data.csv> --constraints <constraints.gr>
   guardrail repair <data.csv> --constraints <constraints.gr> [--scheme coerce|rectify] [--output fixed.csv]
   guardrail structure <data.csv>
 
+`synth` is anytime: --budget-ms caps wall-clock time and --max-work caps work
+units; on exhaustion it emits the best program found so far and reports which
+pipeline stage was cut short.
 `check` exits 0 when the data is violation-free and 1 when violations were found.";
 
 /// Pulls `--flag value` out of an argument list; returns (positional, value).
@@ -76,7 +80,7 @@ fn load_constraints(path: &str) -> Result<Program, String> {
 }
 
 fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
-    let (pos, flags) = parse_flags(args, &["--epsilon", "--output"])?;
+    let (pos, flags) = parse_flags(args, &["--epsilon", "--output", "--budget-ms", "--max-work"])?;
     let [data_path] = pos.as_slice() else {
         return Err("synth needs exactly one CSV path".into());
     };
@@ -86,7 +90,21 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
         let eps: f64 = e.parse().map_err(|_| "bad --epsilon")?;
         config = config.with_epsilon(eps);
     }
-    let guard = Guardrail::fit(&table, &config);
+    let deadline = flags[2]
+        .as_ref()
+        .map(|v| v.parse::<u64>().map_err(|_| "bad --budget-ms"))
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let work_cap =
+        flags[3].as_ref().map(|v| v.parse::<u64>().map_err(|_| "bad --max-work")).transpose()?;
+    let budget = match (deadline, work_cap) {
+        (Some(d), Some(w)) => Budget::with_deadline_and_work_cap(d, w),
+        (Some(d), None) => Budget::with_deadline(d),
+        (None, Some(w)) => Budget::with_work_cap(w),
+        (None, None) => Budget::unlimited(),
+    };
+    let guard =
+        Guardrail::try_fit_governed(&table, &config, &budget).map_err(|e| e.to_string())?;
     let text = guard.program().to_string();
     eprintln!(
         "synthesized {} statement(s) / {} branch(es), coverage {:.3}, MEC size {}",
@@ -95,6 +113,10 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
         guard.coverage(),
         guard.outcome().mec_size,
     );
+    if !guard.degradation().is_complete() {
+        eprintln!("budget exhausted — emitting best program found so far:");
+        eprintln!("{}", guard.degradation());
+    }
     match &flags[1] {
         Some(path) => {
             std::fs::write(path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;

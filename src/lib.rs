@@ -36,6 +36,7 @@ pub use guardrail_baselines as baselines;
 pub use guardrail_core as core;
 pub use guardrail_datasets as datasets;
 pub use guardrail_dsl as dsl;
+pub use guardrail_governor as governor;
 pub use guardrail_graph as graph;
 pub use guardrail_ml as ml;
 pub use guardrail_pgm as pgm;
@@ -47,8 +48,10 @@ pub use guardrail_table as table;
 /// The most common imports in one place.
 pub mod prelude {
     pub use guardrail_core::{
-        ApplyReport, DetectionReport, ErrorScheme, Guardrail, GuardrailConfig, RowOutcome,
+        ApplyReport, DetectionReport, ErrorScheme, Guardrail, GuardrailConfig, GuardrailError,
+        RowOutcome,
     };
+    pub use guardrail_governor::{Budget, DegradationReport, StageStatus};
     pub use guardrail_dsl::{parse_program, CompiledProgram, Program, Violation};
     pub use guardrail_ml::{Classifier, DecisionTree, Ensemble, NaiveBayes};
     pub use guardrail_sqlexec::{Catalog, Executor};

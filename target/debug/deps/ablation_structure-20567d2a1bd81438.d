@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_structure-20567d2a1bd81438.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/debug/deps/ablation_structure-20567d2a1bd81438: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_structure-4a6894b23328c042.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/debug/deps/ablation_structure-4a6894b23328c042: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

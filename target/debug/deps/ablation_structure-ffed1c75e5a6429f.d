@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_structure-ffed1c75e5a6429f.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/debug/deps/ablation_structure-ffed1c75e5a6429f: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-615d96b96a60a1d4.d: crates/bench/benches/baselines.rs
+
+/root/repo/target/debug/deps/baselines-615d96b96a60a1d4: crates/bench/benches/baselines.rs
+
+crates/bench/benches/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_crosscheck-1cf611fbe04b56aa.d: tests/baselines_crosscheck.rs
+
+/root/repo/target/debug/deps/baselines_crosscheck-1cf611fbe04b56aa: tests/baselines_crosscheck.rs
+
+tests/baselines_crosscheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_crosscheck-4fdb65d9927d94c5.d: tests/baselines_crosscheck.rs
+
+/root/repo/target/debug/deps/baselines_crosscheck-4fdb65d9927d94c5: tests/baselines_crosscheck.rs
+
+tests/baselines_crosscheck.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-98906a03dac466d8.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-98906a03dac466d8: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_guardrail=/root/repo/target/debug/guardrail

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-9ff874e1b5290747.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-9ff874e1b5290747: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_guardrail=/root/repo/target/debug/guardrail

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e819832892036115.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e819832892036115: tests/end_to_end.rs
+
+tests/end_to_end.rs:

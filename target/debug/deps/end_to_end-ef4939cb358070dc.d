@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ef4939cb358070dc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ef4939cb358070dc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

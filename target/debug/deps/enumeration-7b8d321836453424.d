@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enumeration-7b8d321836453424.d: crates/bench/benches/enumeration.rs
+
+/root/repo/target/debug/deps/enumeration-7b8d321836453424: crates/bench/benches/enumeration.rs
+
+crates/bench/benches/enumeration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-08bfec7a3fe855ba.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-08bfec7a3fe855ba: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-0ff7df164add45df.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-0ff7df164add45df: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-aeef0d2ba694000f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-aeef0d2ba694000f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

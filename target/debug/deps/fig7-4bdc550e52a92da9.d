@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-4bdc550e52a92da9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-4bdc550e52a92da9: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

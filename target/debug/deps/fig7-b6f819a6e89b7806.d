@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-b6f819a6e89b7806.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-b6f819a6e89b7806: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-efe3b082dfc4c9f2.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-efe3b082dfc4c9f2: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail-0e8eef28df3a1783.d: src/bin/guardrail.rs
+
+/root/repo/target/debug/deps/guardrail-0e8eef28df3a1783: src/bin/guardrail.rs
+
+src/bin/guardrail.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/guardrail-1e5bbfddc7e2c84b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libguardrail-1e5bbfddc7e2c84b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libguardrail-1e5bbfddc7e2c84b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail-36981b9ac466a9d5.d: src/lib.rs
+
+/root/repo/target/debug/deps/guardrail-36981b9ac466a9d5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail-4ce20999a5713779.d: src/bin/guardrail.rs
+
+/root/repo/target/debug/deps/guardrail-4ce20999a5713779: src/bin/guardrail.rs
+
+src/bin/guardrail.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail-651ecf8a3b8d6375.d: src/bin/guardrail.rs
+
+/root/repo/target/debug/deps/guardrail-651ecf8a3b8d6375: src/bin/guardrail.rs
+
+src/bin/guardrail.rs:

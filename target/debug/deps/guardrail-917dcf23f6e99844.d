@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail-917dcf23f6e99844.d: src/lib.rs
+
+/root/repo/target/debug/deps/guardrail-917dcf23f6e99844: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/guardrail-c0e6fe55002d65e9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libguardrail-c0e6fe55002d65e9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libguardrail-c0e6fe55002d65e9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail-f263fcf9a0f2e4a2.d: src/bin/guardrail.rs
+
+/root/repo/target/debug/deps/guardrail-f263fcf9a0f2e4a2: src/bin/guardrail.rs
+
+src/bin/guardrail.rs:

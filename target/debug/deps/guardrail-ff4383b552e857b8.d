@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guardrail-ff4383b552e857b8.d: src/bin/guardrail.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail-ff4383b552e857b8.rmeta: src/bin/guardrail.rs Cargo.toml
+
+src/bin/guardrail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_baselines-2d95883a1b57c16e.d: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+/root/repo/target/debug/deps/libguardrail_baselines-2d95883a1b57c16e.rlib: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+/root/repo/target/debug/deps/libguardrail_baselines-2d95883a1b57c16e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctane.rs:
+crates/baselines/src/detect.rs:
+crates/baselines/src/fd.rs:
+crates/baselines/src/fdx.rs:
+crates/baselines/src/tane.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/guardrail_baselines-83bbf083fa40d939.d: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_baselines-83bbf083fa40d939.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctane.rs:
+crates/baselines/src/detect.rs:
+crates/baselines/src/fd.rs:
+crates/baselines/src/fdx.rs:
+crates/baselines/src/tane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

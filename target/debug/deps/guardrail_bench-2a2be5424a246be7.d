@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/guardrail_bench-2a2be5424a246be7.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/guardrail_bench-2a2be5424a246be7: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/prep.rs:
+crates/bench/src/printing.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/reference.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_bench-69e6b2f56a0a1881.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/libguardrail_bench-69e6b2f56a0a1881.rlib: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/libguardrail_bench-69e6b2f56a0a1881.rmeta: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/prep.rs:
+crates/bench/src/printing.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/reference.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/guardrail_bench-da5342e724096a84.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+/root/repo/target/debug/deps/guardrail_bench-da5342e724096a84: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/prep.rs:
+crates/bench/src/printing.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/reference.rs:

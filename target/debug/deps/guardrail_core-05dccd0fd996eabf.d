@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/guardrail_core-05dccd0fd996eabf.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_core-05dccd0fd996eabf.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/guardrail.rs:
+crates/core/src/numeric.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

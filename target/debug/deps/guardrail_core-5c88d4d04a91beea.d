@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_core-5c88d4d04a91beea.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+/root/repo/target/debug/deps/libguardrail_core-5c88d4d04a91beea.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+/root/repo/target/debug/deps/libguardrail_core-5c88d4d04a91beea.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/guardrail.rs:
+crates/core/src/numeric.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/guardrail_core-b6a1a8f028e45d11.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+/root/repo/target/debug/deps/guardrail_core-b6a1a8f028e45d11: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/guardrail.rs:
+crates/core/src/numeric.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/guardrail_datasets-0ab57f81001e1b4f.d: crates/datasets/src/lib.rs crates/datasets/src/cancer.rs crates/datasets/src/chaos.rs crates/datasets/src/inject.rs crates/datasets/src/paper.rs crates/datasets/src/random.rs crates/datasets/src/sem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_datasets-0ab57f81001e1b4f.rmeta: crates/datasets/src/lib.rs crates/datasets/src/cancer.rs crates/datasets/src/chaos.rs crates/datasets/src/inject.rs crates/datasets/src/paper.rs crates/datasets/src/random.rs crates/datasets/src/sem.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/cancer.rs:
+crates/datasets/src/chaos.rs:
+crates/datasets/src/inject.rs:
+crates/datasets/src/paper.rs:
+crates/datasets/src/random.rs:
+crates/datasets/src/sem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

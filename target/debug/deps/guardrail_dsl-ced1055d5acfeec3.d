@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/guardrail_dsl-ced1055d5acfeec3.d: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_dsl-ced1055d5acfeec3.rmeta: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs Cargo.toml
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ast.rs:
+crates/dsl/src/error.rs:
+crates/dsl/src/interp.rs:
+crates/dsl/src/parser.rs:
+crates/dsl/src/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/guardrail_dsl-df7f46b046901bba.d: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+/root/repo/target/debug/deps/guardrail_dsl-df7f46b046901bba: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ast.rs:
+crates/dsl/src/error.rs:
+crates/dsl/src/interp.rs:
+crates/dsl/src/parser.rs:
+crates/dsl/src/semantics.rs:

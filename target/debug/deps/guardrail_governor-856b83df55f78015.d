@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/guardrail_governor-856b83df55f78015.d: crates/governor/src/lib.rs
+
+/root/repo/target/debug/deps/libguardrail_governor-856b83df55f78015.rlib: crates/governor/src/lib.rs
+
+/root/repo/target/debug/deps/libguardrail_governor-856b83df55f78015.rmeta: crates/governor/src/lib.rs
+
+crates/governor/src/lib.rs:

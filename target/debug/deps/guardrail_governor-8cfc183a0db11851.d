@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail_governor-8cfc183a0db11851.d: crates/governor/src/lib.rs
+
+/root/repo/target/debug/deps/guardrail_governor-8cfc183a0db11851: crates/governor/src/lib.rs
+
+crates/governor/src/lib.rs:

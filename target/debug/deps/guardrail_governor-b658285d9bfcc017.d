@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guardrail_governor-b658285d9bfcc017.d: crates/governor/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_governor-b658285d9bfcc017.rmeta: crates/governor/src/lib.rs Cargo.toml
+
+crates/governor/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/guardrail_graph-eb188e7100b3661b.d: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_graph-eb188e7100b3661b.rmeta: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/chickering.rs:
+crates/graph/src/count.rs:
+crates/graph/src/dag.rs:
+crates/graph/src/dsep.rs:
+crates/graph/src/enumerate.rs:
+crates/graph/src/nodeset.rs:
+crates/graph/src/pdag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

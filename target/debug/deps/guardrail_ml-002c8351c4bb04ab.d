@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/guardrail_ml-002c8351c4bb04ab.d: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_ml-002c8351c4bb04ab.rmeta: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/ensemble.rs:
+crates/ml/src/features.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

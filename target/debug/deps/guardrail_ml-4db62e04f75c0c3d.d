@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/guardrail_ml-4db62e04f75c0c3d.d: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libguardrail_ml-4db62e04f75c0c3d.rlib: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libguardrail_ml-4db62e04f75c0c3d.rmeta: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/ensemble.rs:
+crates/ml/src/features.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/tree.rs:

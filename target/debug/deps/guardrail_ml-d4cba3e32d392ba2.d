@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guardrail_ml-d4cba3e32d392ba2.d: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/guardrail_ml-d4cba3e32d392ba2: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/ensemble.rs:
+crates/ml/src/features.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/guardrail_pgm-0a27fd866739469f.d: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_pgm-0a27fd866739469f.rmeta: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs Cargo.toml
+
+crates/pgm/src/lib.rs:
+crates/pgm/src/aux.rs:
+crates/pgm/src/encode.rs:
+crates/pgm/src/hillclimb.rs:
+crates/pgm/src/learn.rs:
+crates/pgm/src/oracle.rs:
+crates/pgm/src/pc.rs:
+crates/pgm/src/score.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

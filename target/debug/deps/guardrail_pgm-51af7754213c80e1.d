@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_pgm-51af7754213c80e1.d: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs
+
+/root/repo/target/debug/deps/guardrail_pgm-51af7754213c80e1: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs
+
+crates/pgm/src/lib.rs:
+crates/pgm/src/aux.rs:
+crates/pgm/src/encode.rs:
+crates/pgm/src/hillclimb.rs:
+crates/pgm/src/learn.rs:
+crates/pgm/src/oracle.rs:
+crates/pgm/src/pc.rs:
+crates/pgm/src/score.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/guardrail_pgm-8d3a42bcbe082f69.d: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs
+
+/root/repo/target/debug/deps/libguardrail_pgm-8d3a42bcbe082f69.rlib: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs
+
+/root/repo/target/debug/deps/libguardrail_pgm-8d3a42bcbe082f69.rmeta: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs
+
+crates/pgm/src/lib.rs:
+crates/pgm/src/aux.rs:
+crates/pgm/src/encode.rs:
+crates/pgm/src/hillclimb.rs:
+crates/pgm/src/learn.rs:
+crates/pgm/src/oracle.rs:
+crates/pgm/src/pc.rs:
+crates/pgm/src/score.rs:

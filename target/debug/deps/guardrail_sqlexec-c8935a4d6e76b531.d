@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/guardrail_sqlexec-c8935a4d6e76b531.d: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_sqlexec-c8935a4d6e76b531.rmeta: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs Cargo.toml
+
+crates/sqlexec/src/lib.rs:
+crates/sqlexec/src/ast.rs:
+crates/sqlexec/src/catalog.rs:
+crates/sqlexec/src/error.rs:
+crates/sqlexec/src/exec.rs:
+crates/sqlexec/src/optimizer.rs:
+crates/sqlexec/src/parser.rs:
+crates/sqlexec/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/guardrail_sqlexec-d76c1177ff11862e.d: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+/root/repo/target/debug/deps/libguardrail_sqlexec-d76c1177ff11862e.rlib: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+/root/repo/target/debug/deps/libguardrail_sqlexec-d76c1177ff11862e.rmeta: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+crates/sqlexec/src/lib.rs:
+crates/sqlexec/src/ast.rs:
+crates/sqlexec/src/catalog.rs:
+crates/sqlexec/src/error.rs:
+crates/sqlexec/src/exec.rs:
+crates/sqlexec/src/optimizer.rs:
+crates/sqlexec/src/parser.rs:
+crates/sqlexec/src/token.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/guardrail_stats-e937df8ee7b85e6a.d: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_stats-e937df8ee7b85e6a.rmeta: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/chi2.rs:
+crates/stats/src/contingency.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/independence.rs:
+crates/stats/src/metrics.rs:
+crates/stats/src/rank.rs:
+crates/stats/src/special.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

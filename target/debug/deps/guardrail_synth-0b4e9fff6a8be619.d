@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/guardrail_synth-0b4e9fff6a8be619.d: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_synth-0b4e9fff6a8be619.rmeta: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/cache.rs:
+crates/synth/src/config.rs:
+crates/synth/src/fill.rs:
+crates/synth/src/mec.rs:
+crates/synth/src/nontrivial.rs:
+crates/synth/src/optsmt.rs:
+crates/synth/src/sketch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_synth-438c7d58a8901d80.d: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs
+
+/root/repo/target/debug/deps/guardrail_synth-438c7d58a8901d80: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/cache.rs:
+crates/synth/src/config.rs:
+crates/synth/src/fill.rs:
+crates/synth/src/mec.rs:
+crates/synth/src/nontrivial.rs:
+crates/synth/src/optsmt.rs:
+crates/synth/src/sketch.rs:

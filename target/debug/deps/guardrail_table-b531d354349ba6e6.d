@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/guardrail_table-b531d354349ba6e6.d: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+/root/repo/target/debug/deps/libguardrail_table-b531d354349ba6e6.rlib: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+/root/repo/target/debug/deps/libguardrail_table-b531d354349ba6e6.rmeta: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+crates/table/src/lib.rs:
+crates/table/src/column.rs:
+crates/table/src/csv.rs:
+crates/table/src/dictionary.rs:
+crates/table/src/error.rs:
+crates/table/src/row.rs:
+crates/table/src/schema.rs:
+crates/table/src/split.rs:
+crates/table/src/table.rs:
+crates/table/src/value.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/guardrail_table-b5bf57ecc3a28e6a.d: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardrail_table-b5bf57ecc3a28e6a.rmeta: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs Cargo.toml
+
+crates/table/src/lib.rs:
+crates/table/src/column.rs:
+crates/table/src/csv.rs:
+crates/table/src/dictionary.rs:
+crates/table/src/error.rs:
+crates/table/src/row.rs:
+crates/table/src/schema.rs:
+crates/table/src/split.rs:
+crates/table/src/table.rs:
+crates/table/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

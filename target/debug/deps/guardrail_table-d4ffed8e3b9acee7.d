@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/guardrail_table-d4ffed8e3b9acee7.d: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+/root/repo/target/debug/deps/guardrail_table-d4ffed8e3b9acee7: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+crates/table/src/lib.rs:
+crates/table/src/column.rs:
+crates/table/src/csv.rs:
+crates/table/src/dictionary.rs:
+crates/table/src/error.rs:
+crates/table/src/row.rs:
+crates/table/src/schema.rs:
+crates/table/src/split.rs:
+crates/table/src/table.rs:
+crates/table/src/value.rs:

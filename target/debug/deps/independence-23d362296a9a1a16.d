@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/independence-23d362296a9a1a16.d: crates/bench/benches/independence.rs
+
+/root/repo/target/debug/deps/independence-23d362296a9a1a16: crates/bench/benches/independence.rs
+
+crates/bench/benches/independence.rs:

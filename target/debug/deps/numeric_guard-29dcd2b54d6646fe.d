@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numeric_guard-29dcd2b54d6646fe.d: tests/numeric_guard.rs
+
+/root/repo/target/debug/deps/numeric_guard-29dcd2b54d6646fe: tests/numeric_guard.rs
+
+tests/numeric_guard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/numeric_guard-7c0daf1a4d23fe7f.d: tests/numeric_guard.rs
+
+/root/repo/target/debug/deps/numeric_guard-7c0daf1a4d23fe7f: tests/numeric_guard.rs
+
+tests/numeric_guard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optsmt_ablation-27f50cc91bf6014c.d: crates/bench/src/bin/optsmt_ablation.rs
+
+/root/repo/target/debug/deps/optsmt_ablation-27f50cc91bf6014c: crates/bench/src/bin/optsmt_ablation.rs
+
+crates/bench/src/bin/optsmt_ablation.rs:

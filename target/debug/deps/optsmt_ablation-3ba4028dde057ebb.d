@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optsmt_ablation-3ba4028dde057ebb.d: crates/bench/src/bin/optsmt_ablation.rs
+
+/root/repo/target/debug/deps/optsmt_ablation-3ba4028dde057ebb: crates/bench/src/bin/optsmt_ablation.rs
+
+crates/bench/src/bin/optsmt_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optsmt_ablation-ae14c7736094f65b.d: crates/bench/src/bin/optsmt_ablation.rs
+
+/root/repo/target/debug/deps/optsmt_ablation-ae14c7736094f65b: crates/bench/src/bin/optsmt_ablation.rs
+
+crates/bench/src/bin/optsmt_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6d1c4cd04c70a13b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6d1c4cd04c70a13b: tests/properties.rs
+
+tests/properties.rs:

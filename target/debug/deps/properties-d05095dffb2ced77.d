@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d05095dffb2ced77.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d05095dffb2ced77: tests/properties.rs
+
+tests/properties.rs:

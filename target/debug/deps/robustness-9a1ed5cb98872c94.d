@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-9a1ed5cb98872c94.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-9a1ed5cb98872c94: tests/robustness.rs
+
+tests/robustness.rs:

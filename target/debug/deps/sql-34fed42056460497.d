@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql-34fed42056460497.d: crates/bench/benches/sql.rs
+
+/root/repo/target/debug/deps/sql-34fed42056460497: crates/bench/benches/sql.rs
+
+crates/bench/benches/sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_pipeline-02f2a1d3e60aec60.d: tests/sql_pipeline.rs
+
+/root/repo/target/debug/deps/sql_pipeline-02f2a1d3e60aec60: tests/sql_pipeline.rs
+
+tests/sql_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_pipeline-853ee0bb753d4d2d.d: tests/sql_pipeline.rs
+
+/root/repo/target/debug/deps/sql_pipeline-853ee0bb753d4d2d: tests/sql_pipeline.rs
+
+tests/sql_pipeline.rs:

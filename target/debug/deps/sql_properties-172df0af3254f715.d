@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_properties-172df0af3254f715.d: tests/sql_properties.rs
+
+/root/repo/target/debug/deps/sql_properties-172df0af3254f715: tests/sql_properties.rs
+
+tests/sql_properties.rs:

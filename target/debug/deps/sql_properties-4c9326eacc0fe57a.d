@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_properties-4c9326eacc0fe57a.d: tests/sql_properties.rs
+
+/root/repo/target/debug/deps/sql_properties-4c9326eacc0fe57a: tests/sql_properties.rs
+
+tests/sql_properties.rs:

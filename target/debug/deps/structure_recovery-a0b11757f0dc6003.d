@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_recovery-a0b11757f0dc6003.d: crates/bench/src/bin/structure_recovery.rs
+
+/root/repo/target/debug/deps/structure_recovery-a0b11757f0dc6003: crates/bench/src/bin/structure_recovery.rs
+
+crates/bench/src/bin/structure_recovery.rs:

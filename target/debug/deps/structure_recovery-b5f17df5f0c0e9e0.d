@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_recovery-b5f17df5f0c0e9e0.d: crates/bench/src/bin/structure_recovery.rs
+
+/root/repo/target/debug/deps/structure_recovery-b5f17df5f0c0e9e0: crates/bench/src/bin/structure_recovery.rs
+
+crates/bench/src/bin/structure_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_recovery-c7be970df38f2431.d: crates/bench/src/bin/structure_recovery.rs
+
+/root/repo/target/debug/deps/structure_recovery-c7be970df38f2431: crates/bench/src/bin/structure_recovery.rs
+
+crates/bench/src/bin/structure_recovery.rs:

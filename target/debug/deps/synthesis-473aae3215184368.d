@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synthesis-473aae3215184368.d: crates/bench/benches/synthesis.rs
+
+/root/repo/target/debug/deps/synthesis-473aae3215184368: crates/bench/benches/synthesis.rs
+
+crates/bench/benches/synthesis.rs:

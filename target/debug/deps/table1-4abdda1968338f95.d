@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4abdda1968338f95.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4abdda1968338f95: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-70ef1e437b8420f6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-70ef1e437b8420f6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-5a414e6bb66b918c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-5a414e6bb66b918c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-dd11dc7b11c71046.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-dd11dc7b11c71046: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

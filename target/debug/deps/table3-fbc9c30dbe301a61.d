@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-fbc9c30dbe301a61.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-fbc9c30dbe301a61: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-12cdbbb48ec0154d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-12cdbbb48ec0154d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

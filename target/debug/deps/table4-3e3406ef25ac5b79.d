@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-3e3406ef25ac5b79.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-3e3406ef25ac5b79: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-fd051293db088dcc.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-fd051293db088dcc: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-95fa6bcaad009aed.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-95fa6bcaad009aed: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

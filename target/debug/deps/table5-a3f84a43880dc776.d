@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-a3f84a43880dc776.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-a3f84a43880dc776: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

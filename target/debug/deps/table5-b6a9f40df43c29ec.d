@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-b6a9f40df43c29ec.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-b6a9f40df43c29ec: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

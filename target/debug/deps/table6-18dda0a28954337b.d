@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-18dda0a28954337b.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-18dda0a28954337b: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-5d336d90866b0773.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-5d336d90866b0773: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

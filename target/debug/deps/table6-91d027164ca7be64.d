@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-91d027164ca7be64.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-91d027164ca7be64: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-6c7db99c72a5cf08.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-6c7db99c72a5cf08: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-9b1c96613c225709.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-9b1c96613c225709: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-d3869d523e24107e.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-d3869d523e24107e: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-7a072eee84c220a6.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-7a072eee84c220a6: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

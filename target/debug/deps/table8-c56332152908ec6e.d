@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-c56332152908ec6e.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-c56332152908ec6e: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-e5c563747db57a9f.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-e5c563747db57a9f: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

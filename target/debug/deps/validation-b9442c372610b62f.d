@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation-b9442c372610b62f.d: crates/bench/benches/validation.rs
+
+/root/repo/target/debug/deps/validation-b9442c372610b62f: crates/bench/benches/validation.rs
+
+crates/bench/benches/validation.rs:

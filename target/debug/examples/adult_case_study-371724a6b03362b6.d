@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adult_case_study-371724a6b03362b6.d: examples/adult_case_study.rs
+
+/root/repo/target/debug/examples/adult_case_study-371724a6b03362b6: examples/adult_case_study.rs
+
+examples/adult_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adult_case_study-eb1bcf19562fb56d.d: examples/adult_case_study.rs
+
+/root/repo/target/debug/examples/adult_case_study-eb1bcf19562fb56d: examples/adult_case_study.rs
+
+examples/adult_case_study.rs:

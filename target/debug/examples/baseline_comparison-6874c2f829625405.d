@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/baseline_comparison-6874c2f829625405.d: examples/baseline_comparison.rs
+
+/root/repo/target/debug/examples/baseline_comparison-6874c2f829625405: examples/baseline_comparison.rs
+
+examples/baseline_comparison.rs:

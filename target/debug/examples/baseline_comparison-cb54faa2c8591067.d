@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/baseline_comparison-cb54faa2c8591067.d: examples/baseline_comparison.rs
+
+/root/repo/target/debug/examples/baseline_comparison-cb54faa2c8591067: examples/baseline_comparison.rs
+
+examples/baseline_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hospital_ml_query-2fa9e1ab32863880.d: examples/hospital_ml_query.rs
+
+/root/repo/target/debug/examples/hospital_ml_query-2fa9e1ab32863880: examples/hospital_ml_query.rs
+
+examples/hospital_ml_query.rs:

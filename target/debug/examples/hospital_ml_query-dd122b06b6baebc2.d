@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hospital_ml_query-dd122b06b6baebc2.d: examples/hospital_ml_query.rs
+
+/root/repo/target/debug/examples/hospital_ml_query-dd122b06b6baebc2: examples/hospital_ml_query.rs
+
+examples/hospital_ml_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4a6a55c2fe5365a2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4a6a55c2fe5365a2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cfe5d190ac65dc70.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cfe5d190ac65dc70: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libguardrail_governor.rlib: /root/repo/crates/governor/src/lib.rs

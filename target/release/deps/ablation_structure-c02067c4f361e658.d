@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_structure-c02067c4f361e658.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/release/deps/ablation_structure-c02067c4f361e658: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_structure-d424f1bd3580a16d.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/release/deps/ablation_structure-d424f1bd3580a16d: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

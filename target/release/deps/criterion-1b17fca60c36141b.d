@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-1b17fca60c36141b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1b17fca60c36141b.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1b17fca60c36141b.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

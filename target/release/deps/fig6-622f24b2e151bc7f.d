@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-622f24b2e151bc7f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-622f24b2e151bc7f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

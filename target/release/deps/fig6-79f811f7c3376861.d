@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-79f811f7c3376861.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-79f811f7c3376861: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

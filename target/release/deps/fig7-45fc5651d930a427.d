@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-45fc5651d930a427.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-45fc5651d930a427: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

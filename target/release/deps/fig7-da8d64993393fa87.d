@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-da8d64993393fa87.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-da8d64993393fa87: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/governor-69fe7cb164f39c63.d: crates/bench/benches/governor.rs
+
+/root/repo/target/release/deps/governor-69fe7cb164f39c63: crates/bench/benches/governor.rs
+
+crates/bench/benches/governor.rs:

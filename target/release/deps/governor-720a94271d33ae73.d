@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/governor-720a94271d33ae73.d: crates/bench/benches/governor.rs
+
+/root/repo/target/release/deps/governor-720a94271d33ae73: crates/bench/benches/governor.rs
+
+crates/bench/benches/governor.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/guardrail-5a594a7e30529251.d: src/lib.rs
+
+/root/repo/target/release/deps/libguardrail-5a594a7e30529251.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libguardrail-5a594a7e30529251.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/guardrail-b797c7196bc1335c.d: src/bin/guardrail.rs
+
+/root/repo/target/release/deps/guardrail-b797c7196bc1335c: src/bin/guardrail.rs
+
+src/bin/guardrail.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/guardrail_baselines-6a33675c06c00132.d: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+/root/repo/target/release/deps/libguardrail_baselines-6a33675c06c00132.rlib: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+/root/repo/target/release/deps/libguardrail_baselines-6a33675c06c00132.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctane.rs:
+crates/baselines/src/detect.rs:
+crates/baselines/src/fd.rs:
+crates/baselines/src/fdx.rs:
+crates/baselines/src/tane.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/guardrail_baselines-bf0e13ca01584c5a.d: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+/root/repo/target/release/deps/libguardrail_baselines-bf0e13ca01584c5a.rlib: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+/root/repo/target/release/deps/libguardrail_baselines-bf0e13ca01584c5a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctane.rs:
+crates/baselines/src/detect.rs:
+crates/baselines/src/fd.rs:
+crates/baselines/src/fdx.rs:
+crates/baselines/src/tane.rs:

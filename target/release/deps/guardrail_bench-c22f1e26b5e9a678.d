@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/guardrail_bench-c22f1e26b5e9a678.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+/root/repo/target/release/deps/libguardrail_bench-c22f1e26b5e9a678.rlib: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+/root/repo/target/release/deps/libguardrail_bench-c22f1e26b5e9a678.rmeta: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/prep.rs:
+crates/bench/src/printing.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/reference.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/guardrail_bench-e44eb769a729466f.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+/root/repo/target/release/deps/libguardrail_bench-e44eb769a729466f.rlib: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+/root/repo/target/release/deps/libguardrail_bench-e44eb769a729466f.rmeta: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/prep.rs crates/bench/src/printing.rs crates/bench/src/queries.rs crates/bench/src/reference.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/prep.rs:
+crates/bench/src/printing.rs:
+crates/bench/src/queries.rs:
+crates/bench/src/reference.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/guardrail_core-e8915fd5b30d3976.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+/root/repo/target/release/deps/libguardrail_core-e8915fd5b30d3976.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+/root/repo/target/release/deps/libguardrail_core-e8915fd5b30d3976.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/guardrail.rs:
+crates/core/src/numeric.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:

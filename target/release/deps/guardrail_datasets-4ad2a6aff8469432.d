@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/guardrail_datasets-4ad2a6aff8469432.d: crates/datasets/src/lib.rs crates/datasets/src/cancer.rs crates/datasets/src/chaos.rs crates/datasets/src/inject.rs crates/datasets/src/paper.rs crates/datasets/src/random.rs crates/datasets/src/sem.rs
+
+/root/repo/target/release/deps/libguardrail_datasets-4ad2a6aff8469432.rlib: crates/datasets/src/lib.rs crates/datasets/src/cancer.rs crates/datasets/src/chaos.rs crates/datasets/src/inject.rs crates/datasets/src/paper.rs crates/datasets/src/random.rs crates/datasets/src/sem.rs
+
+/root/repo/target/release/deps/libguardrail_datasets-4ad2a6aff8469432.rmeta: crates/datasets/src/lib.rs crates/datasets/src/cancer.rs crates/datasets/src/chaos.rs crates/datasets/src/inject.rs crates/datasets/src/paper.rs crates/datasets/src/random.rs crates/datasets/src/sem.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/cancer.rs:
+crates/datasets/src/chaos.rs:
+crates/datasets/src/inject.rs:
+crates/datasets/src/paper.rs:
+crates/datasets/src/random.rs:
+crates/datasets/src/sem.rs:

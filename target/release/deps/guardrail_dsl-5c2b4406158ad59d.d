@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/guardrail_dsl-5c2b4406158ad59d.d: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+/root/repo/target/release/deps/libguardrail_dsl-5c2b4406158ad59d.rlib: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+/root/repo/target/release/deps/libguardrail_dsl-5c2b4406158ad59d.rmeta: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ast.rs:
+crates/dsl/src/error.rs:
+crates/dsl/src/interp.rs:
+crates/dsl/src/parser.rs:
+crates/dsl/src/semantics.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/guardrail_dsl-f03e07c8c97ad5ed.d: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+/root/repo/target/release/deps/libguardrail_dsl-f03e07c8c97ad5ed.rlib: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+/root/repo/target/release/deps/libguardrail_dsl-f03e07c8c97ad5ed.rmeta: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ast.rs:
+crates/dsl/src/error.rs:
+crates/dsl/src/interp.rs:
+crates/dsl/src/parser.rs:
+crates/dsl/src/semantics.rs:

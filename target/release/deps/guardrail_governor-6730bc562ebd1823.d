@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/guardrail_governor-6730bc562ebd1823.d: crates/governor/src/lib.rs
+
+/root/repo/target/release/deps/libguardrail_governor-6730bc562ebd1823.rlib: crates/governor/src/lib.rs
+
+/root/repo/target/release/deps/libguardrail_governor-6730bc562ebd1823.rmeta: crates/governor/src/lib.rs
+
+crates/governor/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/guardrail_governor-6d1dcc06544a8a25.d: crates/governor/src/lib.rs
+
+/root/repo/target/release/deps/libguardrail_governor-6d1dcc06544a8a25.rlib: crates/governor/src/lib.rs
+
+/root/repo/target/release/deps/libguardrail_governor-6d1dcc06544a8a25.rmeta: crates/governor/src/lib.rs
+
+crates/governor/src/lib.rs:

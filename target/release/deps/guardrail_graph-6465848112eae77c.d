@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/guardrail_graph-6465848112eae77c.d: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs
+
+/root/repo/target/release/deps/libguardrail_graph-6465848112eae77c.rlib: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs
+
+/root/repo/target/release/deps/libguardrail_graph-6465848112eae77c.rmeta: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/chickering.rs:
+crates/graph/src/count.rs:
+crates/graph/src/dag.rs:
+crates/graph/src/dsep.rs:
+crates/graph/src/enumerate.rs:
+crates/graph/src/nodeset.rs:
+crates/graph/src/pdag.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/guardrail_graph-e776817c930ddee0.d: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs
+
+/root/repo/target/release/deps/libguardrail_graph-e776817c930ddee0.rlib: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs
+
+/root/repo/target/release/deps/libguardrail_graph-e776817c930ddee0.rmeta: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/chickering.rs:
+crates/graph/src/count.rs:
+crates/graph/src/dag.rs:
+crates/graph/src/dsep.rs:
+crates/graph/src/enumerate.rs:
+crates/graph/src/nodeset.rs:
+crates/graph/src/pdag.rs:

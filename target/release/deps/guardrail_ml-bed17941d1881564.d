@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/guardrail_ml-bed17941d1881564.d: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libguardrail_ml-bed17941d1881564.rlib: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libguardrail_ml-bed17941d1881564.rmeta: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/ensemble.rs:
+crates/ml/src/features.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/tree.rs:

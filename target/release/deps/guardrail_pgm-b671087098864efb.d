@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/guardrail_pgm-b671087098864efb.d: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs
+
+/root/repo/target/release/deps/libguardrail_pgm-b671087098864efb.rlib: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs
+
+/root/repo/target/release/deps/libguardrail_pgm-b671087098864efb.rmeta: crates/pgm/src/lib.rs crates/pgm/src/aux.rs crates/pgm/src/encode.rs crates/pgm/src/hillclimb.rs crates/pgm/src/learn.rs crates/pgm/src/oracle.rs crates/pgm/src/pc.rs crates/pgm/src/score.rs
+
+crates/pgm/src/lib.rs:
+crates/pgm/src/aux.rs:
+crates/pgm/src/encode.rs:
+crates/pgm/src/hillclimb.rs:
+crates/pgm/src/learn.rs:
+crates/pgm/src/oracle.rs:
+crates/pgm/src/pc.rs:
+crates/pgm/src/score.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/guardrail_sqlexec-fb20f80ad842f708.d: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+/root/repo/target/release/deps/libguardrail_sqlexec-fb20f80ad842f708.rlib: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+/root/repo/target/release/deps/libguardrail_sqlexec-fb20f80ad842f708.rmeta: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+crates/sqlexec/src/lib.rs:
+crates/sqlexec/src/ast.rs:
+crates/sqlexec/src/catalog.rs:
+crates/sqlexec/src/error.rs:
+crates/sqlexec/src/exec.rs:
+crates/sqlexec/src/optimizer.rs:
+crates/sqlexec/src/parser.rs:
+crates/sqlexec/src/token.rs:

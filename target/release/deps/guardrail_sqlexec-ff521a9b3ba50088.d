@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/guardrail_sqlexec-ff521a9b3ba50088.d: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+/root/repo/target/release/deps/libguardrail_sqlexec-ff521a9b3ba50088.rlib: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+/root/repo/target/release/deps/libguardrail_sqlexec-ff521a9b3ba50088.rmeta: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+crates/sqlexec/src/lib.rs:
+crates/sqlexec/src/ast.rs:
+crates/sqlexec/src/catalog.rs:
+crates/sqlexec/src/error.rs:
+crates/sqlexec/src/exec.rs:
+crates/sqlexec/src/optimizer.rs:
+crates/sqlexec/src/parser.rs:
+crates/sqlexec/src/token.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/guardrail_stats-6fa49bae73b8d72b.d: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libguardrail_stats-6fa49bae73b8d72b.rlib: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libguardrail_stats-6fa49bae73b8d72b.rmeta: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/chi2.rs:
+crates/stats/src/contingency.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/independence.rs:
+crates/stats/src/metrics.rs:
+crates/stats/src/rank.rs:
+crates/stats/src/special.rs:

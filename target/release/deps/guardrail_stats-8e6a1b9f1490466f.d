@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/guardrail_stats-8e6a1b9f1490466f.d: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libguardrail_stats-8e6a1b9f1490466f.rlib: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs
+
+/root/repo/target/release/deps/libguardrail_stats-8e6a1b9f1490466f.rmeta: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/chi2.rs:
+crates/stats/src/contingency.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/independence.rs:
+crates/stats/src/metrics.rs:
+crates/stats/src/rank.rs:
+crates/stats/src/special.rs:

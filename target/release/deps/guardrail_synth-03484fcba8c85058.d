@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/guardrail_synth-03484fcba8c85058.d: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs
+
+/root/repo/target/release/deps/libguardrail_synth-03484fcba8c85058.rlib: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs
+
+/root/repo/target/release/deps/libguardrail_synth-03484fcba8c85058.rmeta: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/cache.rs:
+crates/synth/src/config.rs:
+crates/synth/src/fill.rs:
+crates/synth/src/mec.rs:
+crates/synth/src/nontrivial.rs:
+crates/synth/src/optsmt.rs:
+crates/synth/src/sketch.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/guardrail_table-160cff4a43ccaa99.d: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+/root/repo/target/release/deps/libguardrail_table-160cff4a43ccaa99.rlib: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+/root/repo/target/release/deps/libguardrail_table-160cff4a43ccaa99.rmeta: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+crates/table/src/lib.rs:
+crates/table/src/column.rs:
+crates/table/src/csv.rs:
+crates/table/src/dictionary.rs:
+crates/table/src/error.rs:
+crates/table/src/row.rs:
+crates/table/src/schema.rs:
+crates/table/src/split.rs:
+crates/table/src/table.rs:
+crates/table/src/value.rs:

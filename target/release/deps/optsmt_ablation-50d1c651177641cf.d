@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optsmt_ablation-50d1c651177641cf.d: crates/bench/src/bin/optsmt_ablation.rs
+
+/root/repo/target/release/deps/optsmt_ablation-50d1c651177641cf: crates/bench/src/bin/optsmt_ablation.rs
+
+crates/bench/src/bin/optsmt_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optsmt_ablation-9cc7cd91619830d0.d: crates/bench/src/bin/optsmt_ablation.rs
+
+/root/repo/target/release/deps/optsmt_ablation-9cc7cd91619830d0: crates/bench/src/bin/optsmt_ablation.rs
+
+crates/bench/src/bin/optsmt_ablation.rs:

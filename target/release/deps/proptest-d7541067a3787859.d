@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d7541067a3787859.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d7541067a3787859.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d7541067a3787859.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

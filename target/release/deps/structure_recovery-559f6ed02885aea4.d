@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/structure_recovery-559f6ed02885aea4.d: crates/bench/src/bin/structure_recovery.rs
+
+/root/repo/target/release/deps/structure_recovery-559f6ed02885aea4: crates/bench/src/bin/structure_recovery.rs
+
+crates/bench/src/bin/structure_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/structure_recovery-cc4914b8f9ce9eba.d: crates/bench/src/bin/structure_recovery.rs
+
+/root/repo/target/release/deps/structure_recovery-cc4914b8f9ce9eba: crates/bench/src/bin/structure_recovery.rs
+
+crates/bench/src/bin/structure_recovery.rs:

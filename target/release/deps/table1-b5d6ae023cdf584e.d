@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b5d6ae023cdf584e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b5d6ae023cdf584e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

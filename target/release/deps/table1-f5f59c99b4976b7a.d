@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f5f59c99b4976b7a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f5f59c99b4976b7a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

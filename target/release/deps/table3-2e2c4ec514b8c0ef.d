@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-2e2c4ec514b8c0ef.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-2e2c4ec514b8c0ef: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-e89daf785f879957.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-e89daf785f879957: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-383355ff81341424.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-383355ff81341424: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-bf67382f575c6d11.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-bf67382f575c6d11: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

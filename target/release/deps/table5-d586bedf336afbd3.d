@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-d586bedf336afbd3.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-d586bedf336afbd3: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

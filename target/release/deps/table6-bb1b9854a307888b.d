@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-bb1b9854a307888b.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-bb1b9854a307888b: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

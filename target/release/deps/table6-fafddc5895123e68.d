@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-fafddc5895123e68.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-fafddc5895123e68: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

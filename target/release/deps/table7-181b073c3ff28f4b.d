@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-181b073c3ff28f4b.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-181b073c3ff28f4b: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

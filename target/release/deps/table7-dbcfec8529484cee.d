@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-dbcfec8529484cee.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-dbcfec8529484cee: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-07d74b5ffdd26523.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-07d74b5ffdd26523: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

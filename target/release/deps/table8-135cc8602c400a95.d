@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-135cc8602c400a95.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-135cc8602c400a95: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

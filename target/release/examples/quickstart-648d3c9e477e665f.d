@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-648d3c9e477e665f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-648d3c9e477e665f: examples/quickstart.rs
+
+examples/quickstart.rs:

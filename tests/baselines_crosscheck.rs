@@ -13,7 +13,7 @@ fn chain_table(rows: usize) -> Table {
     let mut csv = String::from("zip,city,state,noise\n");
     let mut s1 = 0x12345u64;
     let mut s2 = 0xABCDEu64;
-    let mut next = |s: &mut u64| {
+    let next = |s: &mut u64| {
         *s ^= *s << 13;
         *s ^= *s >> 7;
         *s ^= *s << 17;

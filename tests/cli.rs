@@ -141,3 +141,27 @@ fn synth_respects_epsilon_flag() {
     assert_eq!(strict_out.matches("IF").count(), 0, "strict ε must reject noisy branches:\n{strict_out}");
     assert!(loose_out.matches("IF").count() >= 2, "loose ε must keep them:\n{loose_out}");
 }
+
+#[test]
+fn synth_budget_flags_degrade_gracefully() {
+    let dir = tmpdir("budget");
+    let clean = write_clean_csv(&dir);
+
+    // A zero wall-clock budget still succeeds: synth is anytime, so it emits
+    // whatever it found (possibly nothing) and says which stage was cut.
+    let out = run(&["synth", clean.to_str().unwrap(), "--budget-ms", "0"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget exhausted"), "{stderr}");
+
+    // An ample work cap completes without any degradation notice.
+    let out = run(&["synth", clean.to_str().unwrap(), "--max-work", "100000000"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("budget exhausted"), "{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GIVEN"));
+
+    // Malformed budget values are usage errors.
+    assert_eq!(run(&["synth", clean.to_str().unwrap(), "--budget-ms", "soon"]).status.code(), Some(2));
+    assert_eq!(run(&["synth", clean.to_str().unwrap(), "--max-work", "-1"]).status.code(), Some(2));
+}

@@ -2,7 +2,8 @@
 
 use guardrail::dsl::ast::{Branch, Condition, Program, Statement};
 use guardrail::dsl::parse_program;
-use guardrail::graph::{acyclic_orientations, enumerate_extensions, Dag, EnumerateLimit};
+use guardrail::governor::Budget;
+use guardrail::graph::{acyclic_orientations, enumerate_extensions, Dag};
 use guardrail::prelude::*;
 use guardrail::stats::metrics::{min_max_normalize, BinaryConfusion};
 use guardrail::stats::special::{gamma_p, gamma_q};
@@ -140,8 +141,8 @@ proptest! {
             dag.add_edge_unchecked(u, v);
         }
         let cpdag = dag.to_cpdag();
-        let (members, truncated) = enumerate_extensions(&cpdag, EnumerateLimit { max_dags: 2000 });
-        prop_assert!(!truncated);
+        let (members, status) = enumerate_extensions(&cpdag, &Budget::with_work_cap(2000));
+        prop_assert!(status.is_complete());
         prop_assert!(members.iter().any(|m| m == &dag), "ground truth missing from its own MEC");
         for m in &members {
             prop_assert!(m.markov_equivalent(&dag));

@@ -1,0 +1,805 @@
+//! Offline-vendored subset of the `proptest` 1.x API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of proptest it actually consumes: the [`Strategy`] trait with
+//! the `prop_map` / `prop_filter` / `prop_filter_map` / `prop_flat_map` /
+//! `prop_recursive` combinators, range and tuple strategies, simple
+//! character-class string strategies (`"[a-z][a-z0-9_]{0,6}"`),
+//! [`collection::vec`], [`sample::subsequence`], `prop_oneof!`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberate for this workspace:
+//! - **No shrinking.** A failing case reports the generated value as-is.
+//! - **Deterministic seeding.** Each `proptest!` test derives its RNG seed
+//!   from the test's module path and name, so failures reproduce exactly.
+//! - String "regex" strategies support exactly the concatenation of
+//!   character classes with optional `{m,n}` repetition that the test suite
+//!   uses — not general regex syntax.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The RNG handed to strategies during generation.
+pub type TestRng = StdRng;
+
+// ---------------------------------------------------------------------------
+// Core trait
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+///
+/// `gen_value` returns `None` to signal a local rejection (e.g. a filter
+/// that never matched); the runner retries the whole case.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value, or `None` if this draw was rejected.
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values for which `pred` holds; other draws are retried.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason, pred }
+    }
+
+    /// Combined map + filter: `f` returning `None` rejects the draw.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, reason, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `recurse`
+    /// produces one level of nesting from the strategy for the level below.
+    /// `depth` bounds nesting; `_desired_size` and `_expected_branch_size`
+    /// are accepted for upstream signature compatibility but unused (depth
+    /// alone bounds output size at the scales this workspace generates).
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            // Each level is a coin flip between bottoming out at a leaf and
+            // recursing one level deeper — keeps sizes small without the
+            // upstream size-accounting machinery.
+            strat = Union::new(vec![self.clone().boxed(), recurse(strat).boxed()]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases this strategy behind an `Arc`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.gen_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinator types
+// ---------------------------------------------------------------------------
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Retry locally a few times before escalating to a whole-case reject;
+        // keeps sparse filters from exhausting the runner's reject budget.
+        for _ in 0..32 {
+            if let Some(v) = self.inner.gen_value(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+        for _ in 0..32 {
+            if let Some(v) = self.inner.gen_value(rng) {
+                if let Some(out) = (self.f)(v) {
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T::Value> {
+        let first = self.inner.gen_value(rng)?;
+        (self.f)(first).gen_value(rng)
+    }
+}
+
+/// Uniform choice between type-erased alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `arms`; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].gen_value(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: any::<T>(), ranges, string classes, tuples
+// ---------------------------------------------------------------------------
+
+/// Marker strategy behind [`arbitrary::any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+macro_rules! any_via_standard {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen())
+            }
+        }
+    )*};
+}
+any_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Mirror of `proptest::arbitrary`.
+pub mod arbitrary {
+    use super::Any;
+
+    /// Generates any value of `T` from its full domain.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: super::Strategy<Value = T>,
+    {
+        Any(std::marker::PhantomData)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+float_range_strategies!(f32, f64);
+
+// --- string class patterns --------------------------------------------------
+
+/// One `[class]` or `[class]{m,n}` unit of a pattern string.
+struct ClassUnit {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the pattern subset used by the test suite: a concatenation of
+/// character classes, each optionally followed by `{m,n}`. Panics on
+/// anything else so unsupported patterns fail loudly at generation time.
+fn parse_pattern(pattern: &str) -> Vec<ClassUnit> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        assert_eq!(
+            chars[i], '[',
+            "unsupported pattern {pattern:?}: expected '[' at byte {i} \
+             (vendored proptest supports only concatenated character classes)"
+        );
+        i += 1;
+        let mut class = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            // A '-' between two class members denotes a range; first or last
+            // position means a literal '-'.
+            if chars[i] == '-' && !class.is_empty() && i + 1 < chars.len() && chars[i + 1] != ']' {
+                let lo = *class.last().unwrap();
+                let hi = chars[i + 1];
+                assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                for c in (lo as u32 + 1)..=(hi as u32) {
+                    class.push(char::from_u32(c).unwrap());
+                }
+                i += 2;
+            } else if chars[i] == '\\' && i + 1 < chars.len() {
+                class.push(chars[i + 1]);
+                i += 2;
+            } else {
+                class.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+        i += 1; // skip ']'
+        let (mut min, mut max) = (1, 1);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..i + close].iter().collect();
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or_else(|| panic!("repetition must be {{m,n}} in pattern {pattern:?}"));
+            min = lo.trim().parse().expect("bad repetition lower bound");
+            max = hi.trim().parse().expect("bad repetition upper bound");
+            assert!(min <= max, "empty repetition in pattern {pattern:?}");
+            i += close + 1;
+        }
+        assert!(!class.is_empty(), "empty character class in pattern {pattern:?}");
+        units.push(ClassUnit { chars: class, min, max });
+    }
+    units
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<String> {
+        let mut out = String::new();
+        for unit in parse_pattern(self) {
+            let n = rng.gen_range(unit.min..=unit.max);
+            for _ in 0..n {
+                out.push(unit.chars[rng.gen_range(0..unit.chars.len())]);
+            }
+        }
+        Some(out)
+    }
+}
+
+// --- tuples ------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.gen_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+// ---------------------------------------------------------------------------
+// collection / sample modules
+// ---------------------------------------------------------------------------
+
+/// Mirror of `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::{Rng, SampleRange};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Clone, R: Clone> Clone for VecStrategy<S, R> {
+        fn clone(&self) -> Self {
+            VecStrategy { element: self.element.clone(), size: self.size.clone() }
+        }
+    }
+
+    /// Generates vectors of `element` values with a length sampled from
+    /// `size` (a `Range` or `RangeInclusive` over `usize`).
+    pub fn vec<S: Strategy, R: SampleRange<usize> + Clone>(
+        element: S,
+        size: R,
+    ) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SampleRange<usize> + Clone> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = rng.gen_range(self.size.clone());
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.gen_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Mirror of `proptest::sample`.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::{Rng, SampleRange};
+
+    /// Strategy for order-preserving subsequences of a fixed vector.
+    pub struct Subsequence<T, R> {
+        values: Vec<T>,
+        size: R,
+    }
+
+    /// Picks a random subsequence of `values` (order preserved) whose length
+    /// is drawn from `size`.
+    pub fn subsequence<T: Clone, R: SampleRange<usize> + Clone>(
+        values: Vec<T>,
+        size: R,
+    ) -> Subsequence<T, R> {
+        Subsequence { values, size }
+    }
+
+    impl<T: Clone, R: SampleRange<usize> + Clone> Strategy for Subsequence<T, R> {
+        type Value = Vec<T>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<T>> {
+            let k = rng.gen_range(self.size.clone()).min(self.values.len());
+            // Floyd's algorithm would also work; for the tiny sets in the
+            // test suite a partial Fisher–Yates over indices is simplest.
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..k].to_vec();
+            chosen.sort_unstable();
+            Some(chosen.into_iter().map(|i| self.values[i].clone()).collect())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Mirror of `proptest::test_runner` — config and case errors.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case doesn't apply (e.g. `prop_assume!` failed); retried.
+        Reject(String),
+        /// The property is violated; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// Builds a rejection with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            }
+        }
+    }
+}
+
+/// Derives a stable RNG seed from a test's fully qualified name.
+pub fn seed_for_test(name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms, unlike `DefaultHasher`.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drives generation and case execution for one `proptest!` test.
+/// Not part of the public API surface users write against; the macros call it.
+pub fn run_cases<S, F>(test_name: &str, config: test_runner::ProptestConfig, strategy: S, mut body: F)
+where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    use rand::SeedableRng;
+    let mut rng = TestRng::seed_from_u64(seed_for_test(test_name));
+    let mut rejects: u32 = 0;
+    let max_rejects = 4096 + config.cases * 16;
+    let mut passed = 0;
+    while passed < config.cases {
+        let value = match strategy.gen_value(&mut rng) {
+            Some(v) => v,
+            None => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{test_name}: too many generator rejections ({rejects}); \
+                     filter is likely unsatisfiable"
+                );
+                continue;
+            }
+        };
+        let shown = format!("{value:?}");
+        match body(value) {
+            Ok(()) => passed += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "{test_name}: too many case rejections ({rejects}); \
+                     prop_assume! is likely unsatisfiable"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed after {passed} passing case(s): {msg}\n\
+                     input: {shown}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Discards the current case (retried, not failed) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not for direct use.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategy = ($($strat,)+);
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                config,
+                strategy,
+                |($($pat,)+)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// Mirror of `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> super::TestRng {
+        super::TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z][a-z0-9_]{0,6}", &mut r).unwrap();
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        // Escapes and literal '-'/'.' in classes.
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-zA-Z0-9 _.-]{0,12}", &mut r).unwrap();
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn union_and_combinators() {
+        let strat = prop_oneof![
+            Just(0usize),
+            (1usize..10).prop_map(|v| v * 100),
+        ]
+        .prop_filter("nonzero-or-zero", |v| *v == 0 || *v >= 100);
+        let mut r = rng();
+        let mut saw_zero = false;
+        let mut saw_big = false;
+        for _ in 0..100 {
+            match Strategy::gen_value(&strat, &mut r).unwrap() {
+                0 => saw_zero = true,
+                v if v >= 100 => saw_big = true,
+                v => panic!("unexpected {v}"),
+            }
+        }
+        assert!(saw_zero && saw_big);
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut r = rng();
+        let base = vec![1, 2, 3, 4, 5, 6, 7];
+        for _ in 0..100 {
+            let sub =
+                Strategy::gen_value(&super::sample::subsequence(base.clone(), 0..=7), &mut r)
+                    .unwrap();
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "{sub:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(v in proptest::collection::vec(0i32..50, 0..8), flag in any::<bool>()) {
+            prop_assume!(v.len() != 7);
+            prop_assert!(v.iter().all(|x| (0..50).contains(x)));
+            if flag {
+                prop_assert_eq!(v.len(), v.clone().len());
+            }
+        }
+    }
+
+    // `use proptest::collection` path inside this crate's own tests:
+    use crate as proptest;
+}
