@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_structure-61112e5f97c4cdea.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/debug/deps/libablation_structure-61112e5f97c4cdea.rmeta: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

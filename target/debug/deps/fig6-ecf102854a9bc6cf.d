@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ecf102854a9bc6cf.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-ecf102854a9bc6cf.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

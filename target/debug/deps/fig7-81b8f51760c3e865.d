@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-81b8f51760c3e865.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-81b8f51760c3e865.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail-9c542a4954090a04.d: src/lib.rs
+
+/root/repo/target/debug/deps/libguardrail-9c542a4954090a04.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail-df93ce49b8960831.d: src/bin/guardrail.rs
+
+/root/repo/target/debug/deps/libguardrail-df93ce49b8960831.rmeta: src/bin/guardrail.rs
+
+src/bin/guardrail.rs:

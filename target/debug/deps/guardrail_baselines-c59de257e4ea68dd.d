@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/guardrail_baselines-c59de257e4ea68dd.d: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+/root/repo/target/debug/deps/libguardrail_baselines-c59de257e4ea68dd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ctane.rs crates/baselines/src/detect.rs crates/baselines/src/fd.rs crates/baselines/src/fdx.rs crates/baselines/src/tane.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ctane.rs:
+crates/baselines/src/detect.rs:
+crates/baselines/src/fd.rs:
+crates/baselines/src/fdx.rs:
+crates/baselines/src/tane.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/guardrail_core-e08f2ef4cbcf90c8.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+/root/repo/target/debug/deps/libguardrail_core-e08f2ef4cbcf90c8.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/guardrail.rs crates/core/src/numeric.rs crates/core/src/report.rs crates/core/src/scheme.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/guardrail.rs:
+crates/core/src/numeric.rs:
+crates/core/src/report.rs:
+crates/core/src/scheme.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/guardrail_datasets-9463e26fe894055e.d: crates/datasets/src/lib.rs crates/datasets/src/cancer.rs crates/datasets/src/chaos.rs crates/datasets/src/inject.rs crates/datasets/src/paper.rs crates/datasets/src/random.rs crates/datasets/src/sem.rs
+
+/root/repo/target/debug/deps/libguardrail_datasets-9463e26fe894055e.rmeta: crates/datasets/src/lib.rs crates/datasets/src/cancer.rs crates/datasets/src/chaos.rs crates/datasets/src/inject.rs crates/datasets/src/paper.rs crates/datasets/src/random.rs crates/datasets/src/sem.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/cancer.rs:
+crates/datasets/src/chaos.rs:
+crates/datasets/src/inject.rs:
+crates/datasets/src/paper.rs:
+crates/datasets/src/random.rs:
+crates/datasets/src/sem.rs:

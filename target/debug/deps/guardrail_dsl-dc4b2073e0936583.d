@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/guardrail_dsl-dc4b2073e0936583.d: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+/root/repo/target/debug/deps/libguardrail_dsl-dc4b2073e0936583.rmeta: crates/dsl/src/lib.rs crates/dsl/src/ast.rs crates/dsl/src/error.rs crates/dsl/src/interp.rs crates/dsl/src/parser.rs crates/dsl/src/semantics.rs
+
+crates/dsl/src/lib.rs:
+crates/dsl/src/ast.rs:
+crates/dsl/src/error.rs:
+crates/dsl/src/interp.rs:
+crates/dsl/src/parser.rs:
+crates/dsl/src/semantics.rs:

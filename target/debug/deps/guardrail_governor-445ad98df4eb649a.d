@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardrail_governor-445ad98df4eb649a.d: crates/governor/src/lib.rs
+
+/root/repo/target/debug/deps/libguardrail_governor-445ad98df4eb649a.rmeta: crates/governor/src/lib.rs
+
+crates/governor/src/lib.rs:

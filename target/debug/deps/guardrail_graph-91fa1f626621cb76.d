@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_graph-91fa1f626621cb76.d: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs
+
+/root/repo/target/debug/deps/libguardrail_graph-91fa1f626621cb76.rmeta: crates/graph/src/lib.rs crates/graph/src/chickering.rs crates/graph/src/count.rs crates/graph/src/dag.rs crates/graph/src/dsep.rs crates/graph/src/enumerate.rs crates/graph/src/nodeset.rs crates/graph/src/pdag.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/chickering.rs:
+crates/graph/src/count.rs:
+crates/graph/src/dag.rs:
+crates/graph/src/dsep.rs:
+crates/graph/src/enumerate.rs:
+crates/graph/src/nodeset.rs:
+crates/graph/src/pdag.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guardrail_ml-70fa8837baa23cda.d: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libguardrail_ml-70fa8837baa23cda.rmeta: crates/ml/src/lib.rs crates/ml/src/ensemble.rs crates/ml/src/features.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/ensemble.rs:
+crates/ml/src/features.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/tree.rs:

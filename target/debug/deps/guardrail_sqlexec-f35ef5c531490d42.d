@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_sqlexec-f35ef5c531490d42.d: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+/root/repo/target/debug/deps/libguardrail_sqlexec-f35ef5c531490d42.rmeta: crates/sqlexec/src/lib.rs crates/sqlexec/src/ast.rs crates/sqlexec/src/catalog.rs crates/sqlexec/src/error.rs crates/sqlexec/src/exec.rs crates/sqlexec/src/optimizer.rs crates/sqlexec/src/parser.rs crates/sqlexec/src/token.rs
+
+crates/sqlexec/src/lib.rs:
+crates/sqlexec/src/ast.rs:
+crates/sqlexec/src/catalog.rs:
+crates/sqlexec/src/error.rs:
+crates/sqlexec/src/exec.rs:
+crates/sqlexec/src/optimizer.rs:
+crates/sqlexec/src/parser.rs:
+crates/sqlexec/src/token.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_stats-51725b731de326bf.d: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs
+
+/root/repo/target/debug/deps/libguardrail_stats-51725b731de326bf.rmeta: crates/stats/src/lib.rs crates/stats/src/chi2.rs crates/stats/src/contingency.rs crates/stats/src/descriptive.rs crates/stats/src/independence.rs crates/stats/src/metrics.rs crates/stats/src/rank.rs crates/stats/src/special.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/chi2.rs:
+crates/stats/src/contingency.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/independence.rs:
+crates/stats/src/metrics.rs:
+crates/stats/src/rank.rs:
+crates/stats/src/special.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/guardrail_synth-da80f7e151ac13c4.d: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs
+
+/root/repo/target/debug/deps/libguardrail_synth-da80f7e151ac13c4.rmeta: crates/synth/src/lib.rs crates/synth/src/cache.rs crates/synth/src/config.rs crates/synth/src/fill.rs crates/synth/src/mec.rs crates/synth/src/nontrivial.rs crates/synth/src/optsmt.rs crates/synth/src/sketch.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/cache.rs:
+crates/synth/src/config.rs:
+crates/synth/src/fill.rs:
+crates/synth/src/mec.rs:
+crates/synth/src/nontrivial.rs:
+crates/synth/src/optsmt.rs:
+crates/synth/src/sketch.rs:

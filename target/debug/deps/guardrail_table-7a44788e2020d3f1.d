@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/guardrail_table-7a44788e2020d3f1.d: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+/root/repo/target/debug/deps/libguardrail_table-7a44788e2020d3f1.rmeta: crates/table/src/lib.rs crates/table/src/column.rs crates/table/src/csv.rs crates/table/src/dictionary.rs crates/table/src/error.rs crates/table/src/row.rs crates/table/src/schema.rs crates/table/src/split.rs crates/table/src/table.rs crates/table/src/value.rs
+
+crates/table/src/lib.rs:
+crates/table/src/column.rs:
+crates/table/src/csv.rs:
+crates/table/src/dictionary.rs:
+crates/table/src/error.rs:
+crates/table/src/row.rs:
+crates/table/src/schema.rs:
+crates/table/src/split.rs:
+crates/table/src/table.rs:
+crates/table/src/value.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optsmt_ablation-bca03e6d1db5fc31.d: crates/bench/src/bin/optsmt_ablation.rs
+
+/root/repo/target/debug/deps/liboptsmt_ablation-bca03e6d1db5fc31.rmeta: crates/bench/src/bin/optsmt_ablation.rs
+
+crates/bench/src/bin/optsmt_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-030578867523ad96.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-030578867523ad96.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_recovery-98574e75fadf511c.d: crates/bench/src/bin/structure_recovery.rs
+
+/root/repo/target/debug/deps/libstructure_recovery-98574e75fadf511c.rmeta: crates/bench/src/bin/structure_recovery.rs
+
+crates/bench/src/bin/structure_recovery.rs:

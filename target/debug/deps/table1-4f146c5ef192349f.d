@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4f146c5ef192349f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-4f146c5ef192349f.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

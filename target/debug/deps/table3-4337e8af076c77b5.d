@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4337e8af076c77b5.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-4337e8af076c77b5.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-98358e2517d91da4.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-98358e2517d91da4.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-2209fef2370312a3.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-2209fef2370312a3.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-12f446980a6128f0.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/libtable6-12f446980a6128f0.rmeta: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-4dd47ef15a89e6d4.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/libtable7-4dd47ef15a89e6d4.rmeta: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-43b1952d49375fef.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/libtable8-43b1952d49375fef.rmeta: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:
