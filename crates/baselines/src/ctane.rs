@@ -109,13 +109,11 @@ pub fn ctane_discover(table: &Table, config: &CtaneConfig) -> Result<Vec<Cfd>, B
                 if total < config.min_support {
                     continue;
                 }
-                let (&mode, &mode_count) = match counts
-                    .iter()
-                    .max_by(|(ca, na), (cb, nb)| na.cmp(nb).then(cb.cmp(ca)))
-                {
-                    Some(m) => m,
-                    None => continue,
-                };
+                let (&mode, &mode_count) =
+                    match counts.iter().max_by(|(ca, na), (cb, nb)| na.cmp(nb).then(cb.cmp(ca))) {
+                        Some(m) => m,
+                        None => continue,
+                    };
                 let confidence = mode_count as f64 / total as f64;
                 if confidence < config.min_confidence {
                     continue;
@@ -317,9 +315,8 @@ pub fn detect_variable_cfd_violations(table: &Table, rules: &[VariableCfd]) -> V
             continue;
         };
         let cond_codes = table.column(*cond_col).expect("in range").codes();
-        let scope: Vec<u32> = (0..n as u32)
-            .filter(|&r| cond_codes[r as usize] == cond_code)
-            .collect();
+        let scope: Vec<u32> =
+            (0..n as u32).filter(|&r| cond_codes[r as usize] == cond_code).collect();
         let lhs = rule.fd.lhs[0];
         let rhs = rule.fd.rhs;
         let lhs_codes = table.column(lhs).expect("in range").codes();
@@ -371,12 +368,15 @@ mod tests {
         }
         let t = Table::from_csv_str(&csv).unwrap();
         let rules = ctane_discover(&t, &CtaneConfig::default()).unwrap();
-        assert!(rules.iter().any(|r| {
-            r.pattern == vec![(0, Value::from("US"))]
-                && r.target == 1
-                && r.consequent == Value::Int(1)
-                && r.confidence == 1.0
-        }), "{rules:?}");
+        assert!(
+            rules.iter().any(|r| {
+                r.pattern == vec![(0, Value::from("US"))]
+                    && r.target == 1
+                    && r.consequent == Value::Int(1)
+                    && r.confidence == 1.0
+            }),
+            "{rules:?}"
+        );
     }
 
     #[test]
@@ -387,7 +387,8 @@ mod tests {
         }
         csv.push_str("rare,9\n");
         let t = Table::from_csv_str(&csv).unwrap();
-        let rules = ctane_discover(&t, &CtaneConfig { min_support: 5, ..Default::default() }).unwrap();
+        let rules =
+            ctane_discover(&t, &CtaneConfig { min_support: 5, ..Default::default() }).unwrap();
         assert!(rules.iter().all(|r| r.pattern[0].1 != Value::from("rare")));
     }
 
@@ -481,7 +482,10 @@ mod tests {
             csv.push_str(&format!("{},{},{},{}\n", i % 10, i % 9, i % 8, i % 7));
         }
         let t = Table::from_csv_str(&csv).unwrap();
-        let out = ctane_discover(&t, &CtaneConfig { max_candidates: 10, min_support: 2, ..Default::default() });
+        let out = ctane_discover(
+            &t,
+            &CtaneConfig { max_candidates: 10, min_support: 2, ..Default::default() },
+        );
         assert!(matches!(out, Err(BaselineError::ResourceExhausted { .. })));
     }
 }

@@ -99,10 +99,13 @@ pub fn detect_cfd_violations(table: &Table, cfds: &[Cfd]) -> Vec<usize> {
         let pattern: Option<Vec<(usize, u32)>> = cfd
             .pattern
             .iter()
-            .map(|(c, v)| table.column(*c).expect("in range").dictionary().lookup(v).map(|code| (*c, code)))
+            .map(|(c, v)| {
+                table.column(*c).expect("in range").dictionary().lookup(v).map(|code| (*c, code))
+            })
             .collect();
         let Some(pattern) = pattern else { continue };
-        let consequent = table.column(cfd.target).expect("in range").dictionary().lookup(&cfd.consequent);
+        let consequent =
+            table.column(cfd.target).expect("in range").dictionary().lookup(&cfd.consequent);
         let target = table.column(cfd.target).expect("in range").codes();
         for row in 0..n {
             let matches = pattern
@@ -127,10 +130,7 @@ mod tests {
 
     #[test]
     fn fd_pair_semantics_flags_whole_conflicting_group() {
-        let t = Table::from_csv_str(
-            "a,b\n0,x\n0,x\n0,x\n0,z\n1,y\n1,y\n",
-        )
-        .unwrap();
+        let t = Table::from_csv_str("a,b\n0,x\n0,x\n0,x\n0,z\n1,y\n1,y\n").unwrap();
         // Every a=0 row participates in a violating pair with row 3; the
         // unanimous a=1 group is untouched.
         let flagged = detect_fd_violations(&t, &[Fd::new(vec![0], 1)]);
@@ -139,10 +139,7 @@ mod tests {
 
     #[test]
     fn fd_minority_variant_localizes() {
-        let t = Table::from_csv_str(
-            "a,b\n0,x\n0,x\n0,x\n0,z\n1,y\n1,y\n",
-        )
-        .unwrap();
+        let t = Table::from_csv_str("a,b\n0,x\n0,x\n0,x\n0,z\n1,y\n1,y\n").unwrap();
         assert_eq!(detect_fd_violations_minority(&t, &[Fd::new(vec![0], 1)]), vec![3]);
         // Group splits 2/1: only the minority row.
         let t = Table::from_csv_str("a,b\n0,x\n0,x\n0,y\n").unwrap();
@@ -157,10 +154,7 @@ mod tests {
 
     #[test]
     fn composite_lhs_detection() {
-        let t = Table::from_csv_str(
-            "a,b,c\n0,0,0\n0,0,0\n0,0,9\n1,1,0\n1,1,0\n",
-        )
-        .unwrap();
+        let t = Table::from_csv_str("a,b,c\n0,0,0\n0,0,0\n0,0,9\n1,1,0\n1,1,0\n").unwrap();
         let flagged = detect_fd_violations(&t, &[Fd::new(vec![0, 1], 2)]);
         assert_eq!(flagged, vec![0, 1, 2], "whole (0,0) group conflicts");
         assert_eq!(detect_fd_violations_minority(&t, &[Fd::new(vec![0, 1], 2)]), vec![2]);

@@ -53,8 +53,7 @@ impl Partition {
         for (i, &c) in codes.iter().enumerate() {
             groups.entry(c).or_default().push(i as u32);
         }
-        let mut classes: Vec<Vec<u32>> =
-            groups.into_values().filter(|g| g.len() >= 2).collect();
+        let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         classes.sort(); // deterministic order
         let rows = classes.iter().map(|c| c.len()).sum();
         Self { classes, rows }
@@ -77,8 +76,7 @@ impl Partition {
                 }
             }
         }
-        let mut classes: Vec<Vec<u32>> =
-            buckets.into_values().filter(|g| g.len() >= 2).collect();
+        let mut classes: Vec<Vec<u32>> = buckets.into_values().filter(|g| g.len() >= 2).collect();
         classes.sort();
         let rows = classes.iter().map(|c| c.len()).sum();
         Partition { classes, rows }
@@ -130,7 +128,8 @@ pub fn tane_discover(table: &Table, config: &TaneConfig) -> Result<Vec<Fd>, Base
     let full: AttrSet = (1 << n_attrs) - 1;
     let mut partitions: HashMap<AttrSet, Partition> = HashMap::new();
     for a in 0..n_attrs {
-        partitions.insert(1 << a, Partition::from_codes(table.column(a).expect("in range").codes()));
+        partitions
+            .insert(1 << a, Partition::from_codes(table.column(a).expect("in range").codes()));
     }
 
     // C⁺(X) sets; level-1 initialization.
@@ -193,9 +192,7 @@ pub fn tane_discover(table: &Table, config: &TaneConfig) -> Result<Vec<Fd>, Base
                     continue;
                 }
                 // All |union|-1 subsets must be in the current level.
-                let ok = set_members(union)
-                    .iter()
-                    .all(|&a| current.contains(&(union & !(1 << a))));
+                let ok = set_members(union).iter().all(|&a| current.contains(&(union & !(1 << a))));
                 if !ok {
                     continue;
                 }
@@ -252,10 +249,7 @@ mod tests {
     #[test]
     fn discovers_exact_fd() {
         // b = f(a), c random-ish.
-        let t = Table::from_csv_str(
-            "a,b,c\n0,x,0\n0,x,1\n1,y,0\n1,y,1\n2,x,0\n2,x,1\n",
-        )
-        .unwrap();
+        let t = Table::from_csv_str("a,b,c\n0,x,0\n0,x,1\n1,y,0\n1,y,1\n2,x,0\n2,x,1\n").unwrap();
         let fds = tane_discover(&t, &TaneConfig::default()).unwrap();
         assert!(fds.contains(&Fd::new(vec![0], 1)), "a→b missing from {fds:?}");
         assert!(!fds.contains(&Fd::new(vec![0], 2)), "a→c is not an FD");
@@ -264,10 +258,8 @@ mod tests {
     #[test]
     fn approximate_fd_with_epsilon() {
         // a→b holds except one row out of 10 covered rows.
-        let t = Table::from_csv_str(
-            "a,b\n0,x\n0,x\n0,x\n0,x\n0,z\n1,y\n1,y\n1,y\n1,y\n1,y\n",
-        )
-        .unwrap();
+        let t =
+            Table::from_csv_str("a,b\n0,x\n0,x\n0,x\n0,x\n0,z\n1,y\n1,y\n1,y\n1,y\n1,y\n").unwrap();
         let strict = tane_discover(&t, &TaneConfig { epsilon: 0.0, ..Default::default() }).unwrap();
         // a→b has one violating row, so it needs ε ≥ 0.1 (note b→a *does*
         // hold exactly here: z only ever co-occurs with a=0).
@@ -280,10 +272,9 @@ mod tests {
     #[test]
     fn discovers_composite_lhs() {
         // c = XOR(a, b): only {a,b} → c.
-        let t = Table::from_csv_str(
-            "a,b,c\n0,0,0\n0,0,0\n0,1,1\n0,1,1\n1,0,1\n1,0,1\n1,1,0\n1,1,0\n",
-        )
-        .unwrap();
+        let t =
+            Table::from_csv_str("a,b,c\n0,0,0\n0,0,0\n0,1,1\n0,1,1\n1,0,1\n1,0,1\n1,1,0\n1,1,0\n")
+                .unwrap();
         let fds = tane_discover(&t, &TaneConfig { epsilon: 0.0, ..Default::default() }).unwrap();
         assert!(fds.contains(&Fd::new(vec![0, 1], 2)), "{fds:?}");
         assert!(!fds.contains(&Fd::new(vec![0], 2)));
@@ -292,10 +283,7 @@ mod tests {
     #[test]
     fn minimality_pruning() {
         // b = f(a) exactly; {a,c} → b must not be emitted (non-minimal).
-        let t = Table::from_csv_str(
-            "a,b,c\n0,x,0\n0,x,1\n1,y,0\n1,y,1\n",
-        )
-        .unwrap();
+        let t = Table::from_csv_str("a,b,c\n0,x,0\n0,x,1\n1,y,0\n1,y,1\n").unwrap();
         let fds = tane_discover(&t, &TaneConfig { epsilon: 0.0, ..Default::default() }).unwrap();
         assert!(fds.contains(&Fd::new(vec![0], 1)));
         assert!(!fds.iter().any(|fd| fd.rhs == 1 && fd.lhs.len() > 1), "{fds:?}");

@@ -2,7 +2,9 @@
 //! offline-cost comparison alongside Table 4.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use guardrail_baselines::{ctane_discover, fdx_discover, tane_discover, CtaneConfig, FdxConfig, TaneConfig};
+use guardrail_baselines::{
+    ctane_discover, fdx_discover, tane_discover, CtaneConfig, FdxConfig, TaneConfig,
+};
 use guardrail_datasets::paper_dataset;
 
 fn bench_discovery(c: &mut Criterion) {

@@ -60,7 +60,7 @@ fn bench_pc_hot_loop(c: &mut Criterion) {
     let dataset = paper_dataset(2, 4000);
     let encoded = EncodedData::from_table(&dataset.clean);
     let oracle = DataOracle::new(&encoded);
-    let config = PcConfig { max_cond_size: 3 };
+    let config = PcConfig { max_cond_size: 3, ..PcConfig::default() };
     let mut group = c.benchmark_group("pc_hot_loop");
     group.sample_size(20);
     group.bench_function("unlimited", |b| {

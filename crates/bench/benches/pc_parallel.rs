@@ -1,0 +1,80 @@
+//! Criterion: parallel PC-stable skeleton phase vs. the sequential baseline.
+//!
+//! Per-edge CI tests within one level of PC-stable are independent given the
+//! previous level's adjacency snapshot, so the skeleton phase fans them out
+//! across worker threads. The merge is deterministic, so before timing
+//! anything the bench asserts the parallel CPDAG is identical to the
+//! sequential one — a speedup that changes the answer is not a speedup.
+//!
+//! Measured variants:
+//!
+//! * `threads-1` / `threads-N` — uncached oracle, so every CI test pays the
+//!   full contingency-table cost: the raw parallel speedup.
+//! * `cached/threads-1` / `cached/threads-N` — shared warm statistics cache:
+//!   how much headroom remains once memoization has taken its share.
+//!
+//! `CRITERION_JSON=<path>` archives the timings as JSON lines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use guardrail_datasets::chaos;
+use guardrail_governor::{Budget, Parallelism};
+use guardrail_pgm::{pc_algorithm_governed, DataOracle, EncodedData, PcConfig};
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn config(parallelism: Parallelism) -> PcConfig {
+    PcConfig { max_cond_size: 3, parallelism }
+}
+
+fn bench_pc_parallel(c: &mut Criterion) {
+    // Dense pairwise dependence: the skeleton phase runs hundreds of CI
+    // tests per level, which is the regime the parallel fan-out targets.
+    let table = chaos::entangled_table(12, 2000, 9);
+    let encoded = EncodedData::from_table(&table);
+    let n = hardware_threads();
+
+    // Correctness gate: parallel and sequential must agree bit-for-bit.
+    let seq = pc_algorithm_governed(
+        &DataOracle::new(&encoded).with_cache(false),
+        config(Parallelism::Sequential),
+        &Budget::unlimited(),
+    );
+    let par = pc_algorithm_governed(
+        &DataOracle::new(&encoded).with_cache(false),
+        config(Parallelism::threads(n.max(2))),
+        &Budget::unlimited(),
+    );
+    assert_eq!(seq.0, par.0, "parallel PC must produce the sequential CPDAG");
+    assert_eq!(seq.1.is_complete(), par.1.is_complete());
+
+    let mut group = c.benchmark_group("pc_parallel");
+    group.sample_size(20);
+    for (name, parallelism) in [
+        ("sequential".to_string(), Parallelism::Sequential),
+        (format!("threads-{n}"), Parallelism::threads(n)),
+    ] {
+        group.bench_function(name, |b| {
+            let oracle = DataOracle::new(&encoded).with_cache(false);
+            b.iter(|| {
+                pc_algorithm_governed(black_box(&oracle), config(parallelism), &Budget::unlimited())
+            })
+        });
+    }
+    for (name, parallelism) in [
+        ("cached/sequential".to_string(), Parallelism::Sequential),
+        (format!("cached/threads-{n}"), Parallelism::threads(n)),
+    ] {
+        group.bench_function(name, |b| {
+            let oracle = DataOracle::new(&encoded);
+            b.iter(|| {
+                pc_algorithm_governed(black_box(&oracle), config(parallelism), &Budget::unlimited())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pc_parallel);
+criterion_main!(benches);

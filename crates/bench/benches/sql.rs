@@ -9,7 +9,8 @@ use guardrail_sqlexec::{parse_query, Catalog, Executor};
 use guardrail_table::SplitSpec;
 use std::sync::Arc;
 
-const QUERY: &str = "SELECT PREDICT(m) AS pred, AVG(CASE WHEN pollution = 'high' THEN 1 ELSE 0 END) AS r \
+const QUERY: &str =
+    "SELECT PREDICT(m) AS pred, AVG(CASE WHEN pollution = 'high' THEN 1 ELSE 0 END) AS r \
                      FROM t WHERE smoker = 'yes' GROUP BY pred ORDER BY pred";
 
 fn bench_parse(c: &mut Criterion) {

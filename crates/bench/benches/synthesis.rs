@@ -6,7 +6,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use guardrail_core::{Guardrail, GuardrailConfig};
 use guardrail_datasets::paper_dataset;
 use guardrail_pgm::learn_cpdag;
-use guardrail_synth::{fill_statement_sketch, synthesize_from_cpdag, StatementSketch, SynthesisConfig};
+use guardrail_synth::{
+    fill_statement_sketch, synthesize_from_cpdag, StatementSketch, SynthesisConfig,
+};
 
 fn bench_fill(c: &mut Criterion) {
     let dataset = paper_dataset(2, 5000); // Lung Cancer / CANCER network
@@ -25,8 +27,8 @@ fn bench_mec_synthesis_cache(c: &mut Criterion) {
     group.sample_size(10);
     for (name, use_cache) in [("with_cache", true), ("without_cache", false)] {
         group.bench_function(name, |b| {
-            let config =
-                SynthesisConfig { use_cache, parallel: false, ..SynthesisConfig::default() };
+            let config = SynthesisConfig { use_cache, ..SynthesisConfig::default() }
+                .with_parallelism(guardrail_governor::Parallelism::Sequential);
             b.iter(|| synthesize_from_cpdag(black_box(table), &cpdag, &config))
         });
     }

@@ -19,10 +19,7 @@ fn main() {
         &format!("rows cap {}", cfg.rows_cap),
     );
 
-    println!(
-        "{:<4}{:>10}{:>10}{:>12}{:>12}",
-        "ID", "cov (PC)", "cov (HC)", "F1 (PC)", "F1 (HC)"
-    );
+    println!("{:<4}{:>10}{:>10}{:>12}{:>12}", "ID", "cov (PC)", "cov (HC)", "F1 (PC)", "F1 (HC)");
     for &id in &cfg.datasets {
         let p = prepare(id, &cfg);
         let truth = p.injection.dirty_rows();
@@ -50,5 +47,7 @@ fn main() {
         }
         println!("{line}");
     }
-    println!("\nBoth learners feed the same Alg. 2 synthesis; differences isolate the sketch stage.");
+    println!(
+        "\nBoth learners feed the same Alg. 2 synthesis; differences isolate the sketch stage."
+    );
 }

@@ -35,8 +35,7 @@ fn main() {
     println!("{:<10}{:>8}{:>16}{:>16}", "query", "dataset", "err (dirty)", "err (rectified)");
     for &id in &cfg.datasets {
         let dataset = paper_dataset(id, cfg.rows_cap);
-        let (train, test_clean) =
-            SplitSpec::new(0.6, cfg.seed ^ id as u64).split(&dataset.clean);
+        let (train, test_clean) = SplitSpec::new(0.6, cfg.seed ^ id as u64).split(&dataset.clean);
         let guard = Guardrail::fit(&train, &GuardrailConfig::default());
 
         // §8.2: corrupt only dependent (ON) attributes of the synthesized
@@ -54,9 +53,8 @@ fn main() {
         constrained.sort_unstable();
         constrained.dedup();
         if constrained.is_empty() {
-            constrained = (0..test_clean.num_columns())
-                .filter(|&c| c != dataset.label_col)
-                .collect();
+            constrained =
+                (0..test_clean.num_columns()).filter(|&c| c != dataset.label_col).collect();
         }
         let mut test_dirty = test_clean.clone();
         inject_errors(

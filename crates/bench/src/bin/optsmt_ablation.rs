@@ -8,8 +8,8 @@
 
 use guardrail_bench::printing::{banner, fmt_count};
 use guardrail_bench::{prepare, HarnessConfig};
-use guardrail_synth::optsmt::candidate_space;
 use guardrail_governor::Budget;
+use guardrail_synth::optsmt::candidate_space;
 use guardrail_synth::{optsmt_synthesize, OptSmtConfig, OptSmtOutcome};
 
 fn main() {

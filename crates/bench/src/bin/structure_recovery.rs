@@ -17,19 +17,22 @@ fn main() {
 
     println!(
         "{:<4}{:>7}   {:>8}{:>8}{:>8}   {:>8}{:>8}{:>8}   {:>8}{:>8}{:>8}",
-        "ID", "#edges", "P(aux)", "R(aux)", "F1(aux)", "P(id)", "R(id)", "F1(id)", "P(hc)",
-        "R(hc)", "F1(hc)"
+        "ID",
+        "#edges",
+        "P(aux)",
+        "R(aux)",
+        "F1(aux)",
+        "P(id)",
+        "R(id)",
+        "F1(id)",
+        "P(hc)",
+        "R(hc)",
+        "F1(hc)"
     );
     for &id in &cfg.datasets {
         let p = prepare(id, &cfg);
-        let truth: BTreeSet<(usize, usize)> = p
-            .dataset
-            .sem
-            .dag()
-            .edges()
-            .into_iter()
-            .map(|(u, v)| (u.min(v), u.max(v)))
-            .collect();
+        let truth: BTreeSet<(usize, usize)> =
+            p.dataset.sem.dag().edges().into_iter().map(|(u, v)| (u.min(v), u.max(v))).collect();
         let mut line = format!("{:<4}{:>7}   ", id, truth.len());
         for learn in [
             LearnConfig { sampler: Sampler::Auxiliary, ..LearnConfig::default() },
@@ -37,8 +40,7 @@ fn main() {
             LearnConfig { algorithm: Algorithm::HillClimbBic, ..LearnConfig::default() },
         ] {
             let cpdag = learn_cpdag(&p.train, &learn);
-            let learned: BTreeSet<(usize, usize)> =
-                cpdag.skeleton_edges().into_iter().collect();
+            let learned: BTreeSet<(usize, usize)> = cpdag.skeleton_edges().into_iter().collect();
             let tp = learned.intersection(&truth).count() as f64;
             let precision = if learned.is_empty() { f64::NAN } else { tp / learned.len() as f64 };
             let recall = if truth.is_empty() { f64::NAN } else { tp / truth.len() as f64 };

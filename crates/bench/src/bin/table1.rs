@@ -39,15 +39,13 @@ fn main() {
         let r = spearman(&errors, &mispreds);
         println!(
             "\nSpearman rho = {:.3} (p = {:.2e})   [paper: rho = {:.3}]",
-            r.rho, r.p_value, reference::T1_SPEARMAN
+            r.rho,
+            r.p_value,
+            reference::T1_SPEARMAN
         );
     }
-    let ratio: f64 = errors
-        .iter()
-        .zip(&mispreds)
-        .filter(|(e, _)| **e > 0.0)
-        .map(|(e, m)| m / e)
-        .sum::<f64>()
-        / errors.len() as f64;
+    let ratio: f64 =
+        errors.iter().zip(&mispreds).filter(|(e, _)| **e > 0.0).map(|(e, m)| m / e).sum::<f64>()
+            / errors.len() as f64;
     println!("average mis-prediction/error ratio = {ratio:.2}   [paper: 0.24]");
 }

@@ -3,9 +3,9 @@
 //! (resource exhaustion / numerical), as in the paper.
 
 use guardrail_baselines::{
-    ctane_discover, ctane_discover_variable, detect_cfd_violations,
-    detect_fd_violations_minority, detect_variable_cfd_violations, fdx_discover, tane_discover,
-    CtaneConfig, FdxConfig, TaneConfig,
+    ctane_discover, ctane_discover_variable, detect_cfd_violations, detect_fd_violations_minority,
+    detect_variable_cfd_violations, fdx_discover, tane_discover, CtaneConfig, FdxConfig,
+    TaneConfig,
 };
 use guardrail_bench::printing::{banner, fmt_metric, fmt_opt};
 use guardrail_bench::reference;
@@ -18,7 +18,10 @@ fn main() {
     let cfg = HarnessConfig::from_args();
     banner(
         "Table 3 — error detection: Guardrail vs TANE / CTANE / FDX",
-        &format!("rows cap {}; discovery on the clean split, detection on the dirty split", cfg.rows_cap),
+        &format!(
+            "rows cap {}; discovery on the clean split, detection on the dirty split",
+            cfg.rows_cap
+        ),
     );
 
     println!(

@@ -18,10 +18,7 @@ fn main() {
         &format!("rows cap {}; P over detected errors, R over missed errors", cfg.rows_cap),
     );
 
-    println!(
-        "{:<4}{:>12}{:>8}{:>8}   {:>10}",
-        "ID", "# Mis-pred", "P", "R", "paper P"
-    );
+    println!("{:<4}{:>12}{:>8}{:>8}   {:>10}", "ID", "# Mis-pred", "P", "R", "paper P");
     for &id in &cfg.datasets {
         let p = prepare(id, &cfg);
         let guard = Guardrail::fit(&p.train, &GuardrailConfig::default());

@@ -15,10 +15,7 @@ use std::time::Instant;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    banner(
-        "Table 7 — search space and enumeration time",
-        &format!("rows cap {}", cfg.rows_cap),
-    );
+    banner("Table 7 — search space and enumeration time", &format!("rows cap {}", cfg.rows_cap));
 
     println!(
         "{:<4}{:>7}{:>13}{:>12}{:>16}   {:>9}{:>12}",
@@ -40,7 +37,11 @@ fn main() {
             mec_size,
             if truncated { "+" } else { " " },
             enum_ms,
-            format!("{}{}", fmt_count(orientations.count), if orientations.exact { "" } else { "≤" }),
+            format!(
+                "{}{}",
+                fmt_count(orientations.count),
+                if orientations.exact { "" } else { "≤" }
+            ),
             reference::T7_DAGS_WITH_MEC[id as usize - 1],
             fmt_count(reference::T7_DAGS_WITHOUT_MEC[id as usize - 1]),
         );

@@ -1,7 +1,9 @@
 //! Dataset preparation shared by the experiment binaries.
 
 use crate::config::HarnessConfig;
-use guardrail_datasets::{inject_errors, paper_dataset, GeneratedDataset, InjectConfig, InjectionReport};
+use guardrail_datasets::{
+    inject_errors, paper_dataset, GeneratedDataset, InjectConfig, InjectionReport,
+};
 use guardrail_ml::Ensemble;
 use guardrail_table::{SplitSpec, Table};
 

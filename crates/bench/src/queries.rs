@@ -123,7 +123,10 @@ pub fn result_signature(table: &Table) -> BTreeMap<String, Vec<f64>> {
 /// L1 distance between two signatures (missing groups read as zeros), and
 /// the L1 norm of the reference — the ingredients of Fig. 6's relative
 /// error.
-pub fn signature_l1(observed: &BTreeMap<String, Vec<f64>>, reference: &BTreeMap<String, Vec<f64>>) -> (f64, f64) {
+pub fn signature_l1(
+    observed: &BTreeMap<String, Vec<f64>>,
+    reference: &BTreeMap<String, Vec<f64>>,
+) -> (f64, f64) {
     let mut distance = 0.0;
     let mut norm = 0.0;
     let keys: std::collections::BTreeSet<&String> =

@@ -15,8 +15,7 @@ pub const T3_GUARDRAIL_MCC: [f64; 12] =
 pub const T3_WINS: usize = 17;
 
 /// Table 1: injected error counts per dataset.
-pub const T1_ERRORS: [usize; 12] =
-    [3377, 1419, 35, 19, 6, 48, 124, 521, 444, 1404, 808, 2591];
+pub const T1_ERRORS: [usize; 12] = [3377, 1419, 35, 19, 6, 48, 124, 521, 444, 1404, 808, 2591];
 
 /// Table 1: mis-prediction counts per dataset.
 pub const T1_MISPRED: [usize; 12] = [426, 336, 2, 5, 5, 14, 14, 321, 25, 33, 41, 383];
@@ -33,21 +32,18 @@ pub const T5_P: [f64; 12] =
     [0.13, 0.24, 0.06, 0.26, 0.83, 0.29, 0.11, 0.62, 0.06, 0.02, 0.05, 0.15];
 
 /// Table 6: Guardrail check time (s) per dataset.
-pub const T6_GUARDRAIL_S: [f64; 12] = [
-    1.367, 0.265, 0.007, 0.008, 0.014, 0.013, 0.045, 0.667, 0.149, 0.263, 0.078, 1.074,
-];
+pub const T6_GUARDRAIL_S: [f64; 12] =
+    [1.367, 0.265, 0.007, 0.008, 0.014, 0.013, 0.045, 0.667, 0.149, 0.263, 0.078, 1.074];
 
 /// Table 6: model inference time (s) per dataset.
-pub const T6_INFERENCE_S: [f64; 12] = [
-    1.754, 0.226, 0.091, 0.303, 0.353, 0.018, 0.173, 0.320, 0.306, 0.670, 0.083, 0.995,
-];
+pub const T6_INFERENCE_S: [f64; 12] =
+    [1.754, 0.226, 0.091, 0.303, 0.353, 0.018, 0.173, 0.320, 0.306, 0.670, 0.083, 0.995];
 
 /// Table 7: MEC sizes per dataset.
 pub const T7_DAGS_WITH_MEC: [usize; 12] = [216, 1, 5, 8, 5, 8, 8, 120, 18, 60, 168, 180];
 
 /// Table 7: enumeration times (s) per dataset.
-pub const T7_TIME_S: [f64; 12] =
-    [67.0, 4.0, 4.0, 4.0, 5.0, 5.0, 5.0, 13.0, 6.0, 20.0, 7.0, 12.0];
+pub const T7_TIME_S: [f64; 12] = [67.0, 4.0, 4.0, 4.0, 5.0, 5.0, 5.0, 13.0, 6.0, 20.0, 7.0, 12.0];
 
 /// Table 7: orientation-space sizes without the MEC restriction.
 pub const T7_DAGS_WITHOUT_MEC: [f64; 12] = [

@@ -4,7 +4,7 @@ use crate::error::GuardrailError;
 use crate::report::{ApplyReport, DetectionReport};
 use crate::scheme::{ErrorScheme, RowOutcome};
 use guardrail_dsl::{CompiledProgram, Program};
-use guardrail_governor::{Budget, DegradationReport};
+use guardrail_governor::{Budget, DegradationReport, Parallelism};
 use guardrail_synth::{synthesize_governed, SynthesisConfig, SynthesisOutcome};
 use guardrail_table::{Row, Table, Value};
 
@@ -33,9 +33,92 @@ pub struct RectifyConflict {
 #[derive(Debug, Clone)]
 pub struct Guardrail {
     outcome: SynthesisOutcome,
+    /// Worker-count policy for the bulk table scans of
+    /// [`detect`](Guardrail::detect) / [`apply`](Guardrail::apply)
+    /// (inherited from the fit-time configuration; results are identical for
+    /// any worker count).
+    parallelism: Parallelism,
+}
+
+/// Fluent constructor for [`Guardrail`] — the one entry point that exposes
+/// every fit-time knob:
+///
+/// ```
+/// use guardrail_core::prelude::*;
+///
+/// let csv = "zip,city\n".to_string() + &"94704,Berkeley\n".repeat(300);
+/// let clean = Table::from_csv_str(&csv).unwrap();
+/// let guard = Guardrail::builder()
+///     .config(GuardrailConfig::default().with_epsilon(0.02))
+///     .budget(Budget::unlimited())
+///     .parallelism(Parallelism::threads(2))
+///     .fit(&clean)
+///     .unwrap();
+/// assert!(guard.degradation().is_complete());
+/// ```
+///
+/// Unset knobs keep their defaults: [`GuardrailConfig::default`], an
+/// unlimited [`Budget`], and the config's own worker policy
+/// ([`Parallelism::Auto`] unless the config says otherwise).
+#[derive(Debug, Clone, Default)]
+pub struct GuardrailBuilder {
+    config: GuardrailConfig,
+    budget: Option<Budget>,
+    parallelism: Option<Parallelism>,
+}
+
+impl GuardrailBuilder {
+    /// Sets the synthesis configuration (ε, structure learning, MEC cap, …).
+    pub fn config(mut self, config: GuardrailConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the resource budget for the whole pipeline. On exhaustion the
+    /// fit degrades to the best program found so far — inspect
+    /// [`Guardrail::degradation`] for what was cut short.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the worker-count policy for every parallel stage: PC's CI tests,
+    /// sketch fills, and the fitted guardrail's bulk detection/repair scans.
+    /// Overrides whatever the config says. Results are identical for any
+    /// worker count.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// Runs the offline synthesis pipeline on `table`.
+    pub fn fit(self, table: &Table) -> Result<Guardrail, GuardrailError> {
+        let config = match self.parallelism {
+            Some(p) => self.config.with_parallelism(p),
+            None => self.config,
+        };
+        let budget = self.budget.unwrap_or_else(Budget::unlimited);
+        let attrs = table.num_columns();
+        if attrs > guardrail_graph::MAX_NODES {
+            return Err(GuardrailError::TooManyAttributes {
+                got: attrs,
+                max: guardrail_graph::MAX_NODES,
+            });
+        }
+        Ok(Guardrail {
+            outcome: synthesize_governed(table, &config, &budget),
+            parallelism: config.parallelism,
+        })
+    }
 }
 
 impl Guardrail {
+    /// Starts a fluent fit: `Guardrail::builder().config(…).budget(…)
+    /// .parallelism(…).fit(&table)`.
+    pub fn builder() -> GuardrailBuilder {
+        GuardrailBuilder::default()
+    }
+
     /// Synthesizes constraints from (ideally clean) training data.
     ///
     /// Panics when the schema is unsupported (more attributes than
@@ -46,28 +129,23 @@ impl Guardrail {
     }
 
     /// Fallible [`Guardrail::fit`] for untrusted input: returns a typed
-    /// error instead of panicking on unsupported schemas.
+    /// error instead of panicking on unsupported schemas. Thin wrapper over
+    /// [`Guardrail::builder`].
     pub fn try_fit(table: &Table, config: &GuardrailConfig) -> Result<Self, GuardrailError> {
-        Self::try_fit_governed(table, config, &Budget::unlimited())
+        Self::builder().config(*config).fit(table)
     }
 
     /// Budgeted synthesis: the whole pipeline (structure learning, MEC
     /// enumeration, sketch fills) charges `budget` and degrades to the best
     /// program found so far on exhaustion — inspect
     /// [`degradation`](Guardrail::degradation) for what was cut short.
+    #[deprecated(since = "0.2.0", note = "use Guardrail::builder().budget(…).fit(&table)")]
     pub fn try_fit_governed(
         table: &Table,
         config: &GuardrailConfig,
         budget: &Budget,
     ) -> Result<Self, GuardrailError> {
-        let attrs = table.num_columns();
-        if attrs > guardrail_graph::MAX_NODES {
-            return Err(GuardrailError::TooManyAttributes {
-                got: attrs,
-                max: guardrail_graph::MAX_NODES,
-            });
-        }
-        Ok(Self { outcome: synthesize_governed(table, config, budget) })
+        Self::builder().config(*config).budget(budget.clone()).fit(table)
     }
 
     /// Wraps a hand-written or previously synthesized program.
@@ -83,7 +161,7 @@ impl Guardrail {
             statements: Vec::new(),
             degradation: DegradationReport::complete(),
         };
-        Self { outcome }
+        Self { outcome, parallelism: Parallelism::Auto }
     }
 
     /// The synthesized DSL program.
@@ -106,10 +184,12 @@ impl Guardrail {
         &self.outcome.degradation
     }
 
-    /// Detects violations across `table` (Eqn. 1 applied row-wise).
+    /// Detects violations across `table` (Eqn. 1 applied row-wise). Row
+    /// chunks are scanned on worker threads per the fit-time
+    /// [`Parallelism`]; the report is bit-identical for any worker count.
     pub fn detect(&self, table: &Table) -> DetectionReport {
         let violations = match self.compile(table) {
-            Some(compiled) => compiled.check_table(table),
+            Some(compiled) => compiled.check_table_parallel(table, self.parallelism),
             None => Vec::new(),
         };
         DetectionReport { violations, rows_checked: table.num_rows() }
@@ -129,11 +209,11 @@ impl Guardrail {
             Some(c) => c,
             None => return (out, ApplyReport::default()),
         };
-        let violations = compiled.check_table(table);
+        let violations = compiled.check_table_parallel(table, self.parallelism);
         let cells_changed = match scheme {
             ErrorScheme::Raise | ErrorScheme::Ignore => 0,
-            ErrorScheme::Coerce => compiled.coerce_table(&mut out),
-            ErrorScheme::Rectify => compiled.rectify_table(&mut out),
+            ErrorScheme::Coerce => compiled.coerce_table_parallel(&mut out, self.parallelism),
+            ErrorScheme::Rectify => compiled.rectify_table_parallel(&mut out, self.parallelism),
         };
         (out, ApplyReport { violations, cells_changed })
     }
@@ -380,12 +460,37 @@ mod tests {
     fn governed_fit_reports_degradation() {
         let table = clean_table(400);
         let budget = Budget::with_deadline(std::time::Duration::ZERO);
-        let g = Guardrail::try_fit_governed(&table, &GuardrailConfig::default(), &budget).unwrap();
+        let g = Guardrail::builder().budget(budget).fit(&table).unwrap();
         assert!(!g.degradation().is_complete());
         // The degraded guardrail is still usable end to end.
         assert!(g.detect(&table).rows_checked == 400);
         let unbudgeted = fitted(400);
         assert!(unbudgeted.degradation().is_complete());
+    }
+
+    #[test]
+    fn deprecated_governed_fit_still_works() {
+        let table = clean_table(200);
+        #[allow(deprecated)]
+        let g =
+            Guardrail::try_fit_governed(&table, &GuardrailConfig::default(), &Budget::unlimited())
+                .unwrap();
+        assert!(g.degradation().is_complete());
+    }
+
+    #[test]
+    fn builder_fit_matches_plain_fit_at_any_thread_count() {
+        let table = clean_table(600);
+        let baseline =
+            Guardrail::builder().parallelism(Parallelism::Sequential).fit(&table).unwrap();
+        for threads in [2, 8] {
+            let g = Guardrail::builder()
+                .parallelism(Parallelism::threads(threads))
+                .fit(&table)
+                .unwrap();
+            assert_eq!(g.program(), baseline.program(), "{threads} threads");
+            assert_eq!(g.coverage(), baseline.coverage(), "{threads} threads");
+        }
     }
 
     #[test]

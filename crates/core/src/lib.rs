@@ -41,14 +41,28 @@ pub mod report;
 pub mod scheme;
 
 pub use error::GuardrailError;
-pub use guardrail::{Guardrail, GuardrailConfig, RectifyConflict};
+pub use guardrail::{Guardrail, GuardrailBuilder, GuardrailConfig, RectifyConflict};
 pub use numeric::{NumericGuard, NumericGuardConfig, NumericViolation};
 pub use report::{ApplyReport, DetectionReport};
 pub use scheme::{ErrorScheme, RowOutcome};
 
 pub use guardrail_dsl::{DslError, Program, Violation};
 pub use guardrail_governor::{
-    Budget, CancellationToken, Degradation, DegradationReport, ExhaustionReason, StageStatus,
+    Budget, CancellationToken, Degradation, DegradationReport, ExhaustionReason, Parallelism,
+    StageStatus,
 };
 pub use guardrail_synth::SynthesisOutcome;
 pub use guardrail_table::TableError;
+
+/// One-line import for the common workflow:
+/// `use guardrail_core::prelude::*;` brings in the fit entry points
+/// ([`Guardrail`], [`GuardrailBuilder`], [`GuardrailConfig`]), the governor
+/// knobs ([`Budget`], [`Parallelism`], [`DegradationReport`]), the error
+/// schemes, and the table types.
+pub mod prelude {
+    pub use crate::{
+        Budget, DegradationReport, ErrorScheme, Guardrail, GuardrailBuilder, GuardrailConfig,
+        GuardrailError, Parallelism, RowOutcome,
+    };
+    pub use guardrail_table::{Row, Table, TableBuilder, Value};
+}

@@ -245,6 +245,9 @@ mod tests {
     #[should_panic(expected = "quantiles")]
     fn invalid_quantiles_rejected() {
         let t = table_with_ages(&[]);
-        NumericGuard::fit(&t, &NumericGuardConfig { lower_q: 0.9, upper_q: 0.1, ..Default::default() });
+        NumericGuard::fit(
+            &t,
+            &NumericGuardConfig { lower_q: 0.9, upper_q: 0.1, ..Default::default() },
+        );
     }
 }

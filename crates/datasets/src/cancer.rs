@@ -122,11 +122,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let t = sem.sample(20_000, &mut rng);
         let frac = |col: usize, label: &str| {
-            t.column(col)
-                .unwrap()
-                .iter()
-                .filter(|v| v.as_str() == Some(label))
-                .count() as f64
+            t.column(col).unwrap().iter().filter(|v| v.as_str() == Some(label)).count() as f64
                 / 20_000.0
         };
         assert!((frac(nodes::POLLUTION, "high") - 0.1).abs() < 0.01);

@@ -180,7 +180,7 @@ fn make_typo<R: Rng>(s: &str, rng: &mut R) -> Option<String> {
     let replacement = (b'a' + rng.gen_range(0..26u8)) as char;
     let mut out: Vec<char> = chars.clone();
     match rng.gen_range(0..3u8) {
-        0 => out[pos] = replacement,      // substitute
+        0 => out[pos] = replacement,       // substitute
         1 => out.insert(pos, replacement), // insert
         _ => {
             out.remove(pos); // delete

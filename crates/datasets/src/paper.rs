@@ -69,12 +69,30 @@ const SPECS: [DatasetSpec; 12] = [
         attrs: 4,
         rows: 748,
     },
-    DatasetSpec { id: 7, name: "Steel Plates Faults", category: "Manufacturing", attrs: 28, rows: 1941 },
+    DatasetSpec {
+        id: 7,
+        name: "Steel Plates Faults",
+        category: "Manufacturing",
+        attrs: 28,
+        rows: 1941,
+    },
     DatasetSpec { id: 8, name: "Jungle Chess", category: "Game", attrs: 7, rows: 44819 },
-    DatasetSpec { id: 9, name: "Telco Customer Churn", category: "Business", attrs: 21, rows: 7043 },
+    DatasetSpec {
+        id: 9,
+        name: "Telco Customer Churn",
+        category: "Business",
+        attrs: 21,
+        rows: 7043,
+    },
     DatasetSpec { id: 10, name: "Bank Marketing", category: "Business", attrs: 17, rows: 45211 },
     DatasetSpec { id: 11, name: "Phishing Websites", category: "Security", attrs: 31, rows: 11055 },
-    DatasetSpec { id: 12, name: "Hotel Reservations", category: "Business", attrs: 18, rows: 36275 },
+    DatasetSpec {
+        id: 12,
+        name: "Hotel Reservations",
+        category: "Business",
+        attrs: 18,
+        rows: 36275,
+    },
 ];
 
 /// The Adult dataset's real attribute names, used so example SQL queries read

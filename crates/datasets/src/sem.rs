@@ -49,12 +49,7 @@ impl DiscreteSem {
     /// # Panics
     /// Panics when lengths disagree, a function's table does not match the
     /// node's parent configuration count, or probabilities are malformed.
-    pub fn new(
-        dag: Dag,
-        cards: Vec<usize>,
-        names: Vec<String>,
-        funcs: Vec<NodeFunction>,
-    ) -> Self {
+    pub fn new(dag: Dag, cards: Vec<usize>, names: Vec<String>, funcs: Vec<NodeFunction>) -> Self {
         let n = dag.num_nodes();
         assert_eq!(cards.len(), n);
         assert_eq!(names.len(), n);
@@ -73,7 +68,11 @@ impl DiscreteSem {
                     assert!((0.0..1.0).contains(noise));
                 }
                 NodeFunction::Cpt { probs } => {
-                    assert_eq!(probs.len(), configs.max(1) * cards[v], "CPT size mismatch at node {v}");
+                    assert_eq!(
+                        probs.len(),
+                        configs.max(1) * cards[v],
+                        "CPT size mismatch at node {v}"
+                    );
                 }
             }
         }
@@ -237,8 +236,7 @@ mod tests {
 
     #[test]
     fn labels_render_as_strings() {
-        let sem = zip_city_sem(0.0)
-            .with_labels(1, vec!["Berkeley".into(), "Portland".into()]);
+        let sem = zip_city_sem(0.0).with_labels(1, vec!["Berkeley".into(), "Portland".into()]);
         let mut rng = StdRng::seed_from_u64(3);
         let t = sem.sample(10, &mut rng);
         let v = t.get(0, 1).unwrap();

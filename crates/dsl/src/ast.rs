@@ -211,9 +211,7 @@ mod tests {
 
     fn branch(cond: Vec<(&str, Value)>, target: &str, lit: Value) -> Branch {
         Branch {
-            condition: Condition::new(
-                cond.into_iter().map(|(a, v)| (a.to_string(), v)).collect(),
-            ),
+            condition: Condition::new(cond.into_iter().map(|(a, v)| (a.to_string(), v)).collect()),
             target: target.to_string(),
             literal: lit,
         }
@@ -224,7 +222,11 @@ mod tests {
         let s = Statement {
             given: vec!["zip".into()],
             on: "city".into(),
-            branches: vec![branch(vec![("zip", Value::Int(94704))], "city", Value::from("Berkeley"))],
+            branches: vec![branch(
+                vec![("zip", Value::Int(94704))],
+                "city",
+                Value::from("Berkeley"),
+            )],
         };
         assert!(s.validate().is_ok());
     }
@@ -232,10 +234,12 @@ mod tests {
     #[test]
     fn validation_catches_structure_errors() {
         let good = branch(vec![("zip", Value::Int(1))], "city", Value::from("x"));
-        let empty_given = Statement { given: vec![], on: "city".into(), branches: vec![good.clone()] };
+        let empty_given =
+            Statement { given: vec![], on: "city".into(), branches: vec![good.clone()] };
         assert!(matches!(empty_given.validate(), Err(DslError::MalformedStatement(_))));
 
-        let no_branches = Statement { given: vec!["zip".into()], on: "city".into(), branches: vec![] };
+        let no_branches =
+            Statement { given: vec!["zip".into()], on: "city".into(), branches: vec![] };
         assert!(matches!(no_branches.validate(), Err(DslError::MalformedStatement(_))));
 
         let self_dep = Statement {

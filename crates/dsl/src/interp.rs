@@ -13,7 +13,13 @@
 
 use crate::ast::{Branch, Program, Statement};
 use crate::error::DslError;
+use guardrail_governor::{parallel_chunks, Parallelism};
 use guardrail_table::{Code, Row, Table, Value, NULL_CODE};
+
+/// Rows per work item in the chunk-parallel table scans: coarse enough that
+/// per-chunk bookkeeping is negligible, fine enough that mid-size tables
+/// still split across workers.
+const ROW_CHUNK: usize = 4096;
 
 /// One detected constraint violation: executing branch `branch` of statement
 /// `statement` on row `row` would assign `expected`, but the row holds
@@ -88,9 +94,8 @@ impl CompiledProgram {
         let schema = table.schema();
         let mut statements = Vec::with_capacity(program.statements.len());
         for (si, s) in program.statements.iter().enumerate() {
-            let on_col = schema
-                .index_of(&s.on)
-                .ok_or_else(|| DslError::UnknownAttribute(s.on.clone()))?;
+            let on_col =
+                schema.index_of(&s.on).ok_or_else(|| DslError::UnknownAttribute(s.on.clone()))?;
             let mut branches = Vec::with_capacity(s.branches.len());
             for (bi, b) in s.branches.iter().enumerate() {
                 let mut conjuncts = Vec::with_capacity(b.condition.conjuncts().len());
@@ -98,11 +103,8 @@ impl CompiledProgram {
                     let col = schema
                         .index_of(attr)
                         .ok_or_else(|| DslError::UnknownAttribute(attr.clone()))?;
-                    let code = table
-                        .column(col)
-                        .expect("schema-resolved column")
-                        .dictionary()
-                        .lookup(lit);
+                    let code =
+                        table.column(col).expect("schema-resolved column").dictionary().lookup(lit);
                     conjuncts.push((col, code));
                 }
                 let literal_code =
@@ -131,11 +133,22 @@ impl CompiledProgram {
 
     /// All violations across the table.
     pub fn check_table(&self, table: &Table) -> Vec<Violation> {
-        let mut out = Vec::new();
-        for row in 0..table.num_rows() {
-            self.check_row_into(table, row, &mut out);
-        }
-        out
+        self.check_table_parallel(table, Parallelism::Sequential)
+    }
+
+    /// [`check_table`](Self::check_table) with row chunks scanned on worker
+    /// threads. Checking only reads the table, so chunks are independent;
+    /// per-chunk violation lists concatenate in range order, making the
+    /// output bit-identical to the sequential scan for any worker count.
+    pub fn check_table_parallel(&self, table: &Table, parallelism: Parallelism) -> Vec<Violation> {
+        let per_chunk = parallel_chunks(parallelism, table.num_rows(), ROW_CHUNK, &|range| {
+            let mut out = Vec::new();
+            for row in range {
+                self.check_row_into(table, row, &mut out);
+            }
+            out
+        });
+        per_chunk.concat()
     }
 
     /// Violations on a single row of the bound table.
@@ -188,25 +201,68 @@ impl CompiledProgram {
     /// branch writes its literal into the dependent cell (the paper's
     /// `rectify` scheme). Returns the number of cells changed.
     pub fn rectify_table(&self, table: &mut Table) -> usize {
+        self.rectify_table_parallel(table, Parallelism::Sequential)
+    }
+
+    /// [`rectify_table`](Self::rectify_table) with row chunks scanned on
+    /// worker threads.
+    ///
+    /// Statements stay sequential — later statements must see earlier
+    /// statements' writes (chained repairs, e.g. fix `city` then derive
+    /// `state` from the corrected `city`). Within one statement every row is
+    /// independent: a row's writes touch only its own dependent cell.
+    /// Workers therefore scan an immutable snapshot and *simulate* the
+    /// per-row branch cascade (tracking the evolving dependent code, which a
+    /// later branch of the same statement may re-read through its condition),
+    /// then a sequential pass applies the per-chunk write lists in range
+    /// order. Cell contents and the returned change count are bit-identical
+    /// to the sequential scheme for any worker count.
+    pub fn rectify_table_parallel(&self, table: &mut Table, parallelism: Parallelism) -> usize {
         let mut changed = 0;
         for s in &self.statements {
             // Intern the literals once per statement so new values (absent
             // from this split's dictionary) can be written.
-            let mut branch_codes: Vec<Option<Code>> = Vec::with_capacity(s.branches.len());
-            for b in &s.branches {
-                let col = table.column_mut(s.on_col).expect("bound column");
-                branch_codes.push(Some(col.dictionary_mut().encode(b.literal.clone())));
-            }
-            for row in 0..table.num_rows() {
-                for (b, &code) in s.branches.iter().zip(&branch_codes) {
-                    if b.matches(table, row) {
-                        let code = code.expect("interned above");
-                        let col = table.column_mut(s.on_col).expect("bound column");
-                        if col.code(row) != code {
-                            col.set_code(row, code);
-                            changed += 1;
+            let branch_codes: Vec<Code> = s
+                .branches
+                .iter()
+                .map(|b| {
+                    let col = table.column_mut(s.on_col).expect("bound column");
+                    col.dictionary_mut().encode(b.literal.clone())
+                })
+                .collect();
+            let snapshot: &Table = table;
+            let per_chunk: Vec<(usize, Vec<(usize, Code)>)> =
+                parallel_chunks(parallelism, snapshot.num_rows(), ROW_CHUNK, &|range| {
+                    let mut delta = 0usize;
+                    let mut writes: Vec<(usize, Code)> = Vec::new();
+                    let on = snapshot.column(s.on_col).expect("bound column");
+                    for row in range {
+                        let original = on.code(row);
+                        let mut cur = original;
+                        for (b, &code) in s.branches.iter().zip(&branch_codes) {
+                            let matches = b.conjuncts.iter().all(|&(col, k)| match k {
+                                Some(k) if col == s.on_col => cur == k,
+                                Some(k) => {
+                                    snapshot.column(col).expect("bound column").code(row) == k
+                                }
+                                None => false,
+                            });
+                            if matches && cur != code {
+                                cur = code;
+                                delta += 1;
+                            }
+                        }
+                        if cur != original {
+                            writes.push((row, cur));
                         }
                     }
+                    (delta, writes)
+                });
+            for (delta, writes) in per_chunk {
+                changed += delta;
+                let col = table.column_mut(s.on_col).expect("bound column");
+                for (row, code) in writes {
+                    col.set_code(row, code);
                 }
             }
         }
@@ -216,7 +272,14 @@ impl CompiledProgram {
     /// Replaces the dependent cell of every violating row with `Null`
     /// (the paper's `coerce` scheme). Returns the number of cells coerced.
     pub fn coerce_table(&self, table: &mut Table) -> usize {
-        let violations = self.check_table(table);
+        self.coerce_table_parallel(table, Parallelism::Sequential)
+    }
+
+    /// [`coerce_table`](Self::coerce_table) with the violation scan run on
+    /// worker threads; the null writes themselves are a cheap sequential
+    /// pass over the (deterministically ordered) violation list.
+    pub fn coerce_table_parallel(&self, table: &mut Table, parallelism: Parallelism) -> usize {
+        let violations = self.check_table_parallel(table, parallelism);
         let mut coerced = 0;
         for v in violations {
             let s = &self.statements[v.statement];
@@ -292,11 +355,8 @@ pub fn statement_rows(statement: &Statement, table: &Table) -> Vec<usize> {
         Ok(c) => c,
         Err(_) => return Vec::new(),
     };
-    let mut rows: Vec<usize> = compiled.statements()[0]
-        .branches()
-        .iter()
-        .flat_map(|b| b.matching_rows(table))
-        .collect();
+    let mut rows: Vec<usize> =
+        compiled.statements()[0].branches().iter().flat_map(|b| b.matching_rows(table)).collect();
     rows.sort_unstable();
     rows.dedup();
     rows
@@ -315,10 +375,8 @@ mod tests {
     use crate::parser::parse_program;
 
     fn zip_table() -> Table {
-        Table::from_csv_str(
-            "zip,city\n94704,Berkeley\n94704,gibbon\n97201,Portland\n10001,NYC\n",
-        )
-        .unwrap()
+        Table::from_csv_str("zip,city\n94704,Berkeley\n94704,gibbon\n97201,Portland\n10001,NYC\n")
+            .unwrap()
     }
 
     fn zip_program() -> Program {
@@ -426,6 +484,100 @@ mod tests {
         let table = Table::from_csv_str("a,b\n1,2\n").unwrap();
         let err = zip_program().compile_for(&table).unwrap_err();
         assert!(matches!(err, DslError::UnknownAttribute(_)));
+    }
+
+    /// A few-thousand-row table over (zip, city, state) with injected noise,
+    /// plus a two-statement chained-repair program.
+    fn noisy_chain() -> (Table, Program) {
+        let cities = ["Berkeley", "Portland", "NYC"];
+        let states = ["CA", "OR", "NY"];
+        let mut csv = String::from("zip,city,state\n");
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..5000 {
+            let z = (rng() % 3) as usize;
+            let city = if rng() % 10 == 0 { "gibbon" } else { cities[z] };
+            let state = if rng() % 10 == 0 { "XX" } else { states[z] };
+            csv.push_str(&format!("{},{city},{state}\n", 94704 + z));
+        }
+        let table = Table::from_csv_str(&csv).unwrap();
+        let program = parse_program(
+            r#"GIVEN zip ON city HAVING
+                   IF zip = 94704 THEN city <- "Berkeley";
+                   IF zip = 94705 THEN city <- "Portland";
+                   IF zip = 94706 THEN city <- "NYC";
+               GIVEN city ON state HAVING
+                   IF city = "Berkeley" THEN state <- "CA";
+                   IF city = "Portland" THEN state <- "OR";
+                   IF city = "NYC" THEN state <- "NY";"#,
+        )
+        .unwrap();
+        (table, program)
+    }
+
+    fn assert_same_cells(a: &Table, b: &Table, context: &str) {
+        assert_eq!(a.num_rows(), b.num_rows(), "{context}");
+        assert_eq!(a.num_columns(), b.num_columns(), "{context}");
+        for row in 0..a.num_rows() {
+            for col in 0..a.num_columns() {
+                assert_eq!(a.get(row, col), b.get(row, col), "{context}: cell ({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_check_is_bit_identical() {
+        let (table, program) = noisy_chain();
+        let compiled = program.compile_for(&table).unwrap();
+        let seq = compiled.check_table(&table);
+        assert!(!seq.is_empty());
+        for threads in [2, 3, 8, 64] {
+            let par = compiled.check_table_parallel(&table, Parallelism::threads(threads));
+            assert_eq!(seq, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_rectify_is_bit_identical() {
+        let (table, program) = noisy_chain();
+        for threads in [2, 3, 8, 64] {
+            let mut seq_table = table.clone();
+            let mut par_table = table.clone();
+            let seq_changed =
+                program.compile_for(&seq_table).unwrap().rectify_table(&mut seq_table);
+            let par_changed = program
+                .compile_for(&par_table)
+                .unwrap()
+                .rectify_table_parallel(&mut par_table, Parallelism::threads(threads));
+            assert!(seq_changed > 0);
+            assert_eq!(seq_changed, par_changed, "{threads} threads: change count");
+            assert_same_cells(&seq_table, &par_table, &format!("{threads} threads"));
+            // The chained second statement must have seen the repaired city:
+            // every row is clean after one pass.
+            assert!(program.compile_for(&par_table).unwrap().check_table(&par_table).is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_coerce_is_bit_identical() {
+        let (table, program) = noisy_chain();
+        let mut seq_table = table.clone();
+        let seq_coerced = program.compile_for(&seq_table).unwrap().coerce_table(&mut seq_table);
+        for threads in [2, 8] {
+            let mut par_table = table.clone();
+            let par_coerced = program
+                .compile_for(&par_table)
+                .unwrap()
+                .coerce_table_parallel(&mut par_table, Parallelism::threads(threads));
+            assert!(seq_coerced > 0);
+            assert_eq!(seq_coerced, par_coerced, "{threads} threads");
+            assert_same_cells(&seq_table, &par_table, &format!("{threads} threads"));
+        }
     }
 
     #[test]

@@ -155,9 +155,7 @@ impl<'a> Parser<'a> {
                                 Some(b'\\') => out.push('\\'),
                                 Some(b'n') => out.push('\n'),
                                 Some(b't') => out.push('\t'),
-                                other => {
-                                    return Err(self.err(format!("bad escape: {other:?}")))
-                                }
+                                other => return Err(self.err(format!("bad escape: {other:?}"))),
                             }
                             self.pos += 1;
                         }
@@ -348,8 +346,9 @@ mod tests {
 
     #[test]
     fn backquoted_identifiers() {
-        let p = parse_program("GIVEN `odd name` ON `x``y` HAVING IF `odd name` = 1 THEN `x``y` <- 2;")
-            .unwrap();
+        let p =
+            parse_program("GIVEN `odd name` ON `x``y` HAVING IF `odd name` = 1 THEN `x``y` <- 2;")
+                .unwrap();
         assert_eq!(p.statements[0].given, vec!["odd name"]);
         assert_eq!(p.statements[0].on, "x`y");
     }
@@ -374,8 +373,7 @@ mod tests {
     #[test]
     fn validation_runs_after_parse() {
         // Branch target differs from ON attribute.
-        let err =
-            parse_program("GIVEN a ON b HAVING IF a = 1 THEN c <- 2;").unwrap_err();
+        let err = parse_program("GIVEN a ON b HAVING IF a = 1 THEN c <- 2;").unwrap_err();
         assert!(matches!(err, DslError::BranchTargetMismatch { .. }));
     }
 

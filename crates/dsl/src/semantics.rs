@@ -72,12 +72,7 @@ pub fn program_coverage(program: &Program, table: &Table) -> f64 {
 
 /// Program loss: total branch loss across all statements.
 pub fn program_loss(program: &Program, table: &Table) -> usize {
-    program
-        .statements
-        .iter()
-        .flat_map(|s| s.branches.iter())
-        .map(|b| branch_loss(b, table).0)
-        .sum()
+    program.statements.iter().flat_map(|s| s.branches.iter()).map(|b| branch_loss(b, table).0).sum()
 }
 
 #[cfg(test)]

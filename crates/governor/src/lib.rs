@@ -24,6 +24,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod parallel;
+
+pub use parallel::{parallel_chunks, parallel_map, Parallelism};
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -259,10 +263,7 @@ impl Budget {
     pub fn is_unlimited(&self) -> bool {
         let mut cur: Option<&BudgetInner> = Some(&self.inner);
         while let Some(inner) = cur {
-            if inner.deadline.is_some()
-                || inner.work_cap.is_some()
-                || inner.cancel.is_cancelled()
-            {
+            if inner.deadline.is_some() || inner.work_cap.is_some() || inner.cancel.is_cancelled() {
                 return false;
             }
             cur = inner.parent.as_deref();
@@ -283,11 +284,7 @@ pub enum StageStatus {
 impl StageStatus {
     /// Builds a `Degraded` status for `stage` from a budget error.
     pub fn degraded(stage: &'static str, err: Exhausted) -> Self {
-        StageStatus::Degraded(Degradation {
-            stage,
-            reason: err.reason,
-            work_done: err.work_done,
-        })
+        StageStatus::Degraded(Degradation { stage, reason: err.reason, work_done: err.work_done })
     }
 
     /// True for [`StageStatus::Complete`].

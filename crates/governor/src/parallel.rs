@@ -1,0 +1,195 @@
+//! The workspace's parallel execution model.
+//!
+//! Every parallel hot path in the pipeline (PC's per-level CI tests, per-DAG
+//! and per-statement sketch fills, chunked bulk detection) goes through the
+//! same primitive: an order-preserving scoped-thread map. Centralizing it
+//! here keeps three invariants uniform across crates:
+//!
+//! * **Determinism** — results are written into pre-assigned slots and
+//!   merged in input order, so the output is identical for any worker count.
+//! * **Cooperative budgets** — workers share the caller's [`Budget`] (an
+//!   `Arc`-backed atomic), so a deadline, work cap, or cancellation trips
+//!   mid-stage no matter which thread is charging.
+//! * **Panic propagation** — `std::thread::scope` re-raises worker panics
+//!   when the scope closes instead of poisoning a queue.
+//!
+//! [`Budget`]: crate::Budget
+
+use std::num::NonZeroUsize;
+
+/// Worker-count policy for parallel stages.
+///
+/// The pipeline treats this as a *maximum*: a stage never spawns more
+/// workers than it has independent items.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    #[default]
+    Auto,
+    /// Run on the calling thread with no spawning at all. Equivalent to
+    /// `Threads(1)` in results (which is guaranteed anyway), but also avoids
+    /// thread-spawn overhead — useful for tiny inputs and comparisons.
+    Sequential,
+    /// Exactly this many workers.
+    Threads(NonZeroUsize),
+}
+
+impl Parallelism {
+    /// Convenience constructor: `threads(0)` and `threads(1)` both mean
+    /// sequential execution.
+    pub fn threads(n: usize) -> Self {
+        match NonZeroUsize::new(n) {
+            Some(n) if n.get() > 1 => Parallelism::Threads(n),
+            _ => Parallelism::Sequential,
+        }
+    }
+
+    /// Number of workers to use for `items` independent work items.
+    pub fn workers_for(self, items: usize) -> usize {
+        let cap = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.get(),
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+            }
+        };
+        cap.min(items).max(1)
+    }
+}
+
+/// Maps `f` over `items` on up to [`Parallelism::workers_for`] scoped
+/// threads, preserving input order in the output.
+///
+/// Items are dealt to workers in contiguous chunks; each result is written
+/// into its item's slot, so the returned vector is bit-identical to the
+/// sequential `items.iter().map(f).collect()` for any worker count (provided
+/// `f` itself is deterministic per item). With one worker the map runs on
+/// the calling thread.
+pub fn parallel_map<T: Sync, R: Send>(
+    parallelism: Parallelism,
+    items: &[T],
+    f: &(impl Fn(&T) -> R + Sync),
+) -> Vec<R> {
+    let workers = parallelism.workers_for(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = results
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .map(|(slot_chunk, item_chunk)| {
+                scope.spawn(move || {
+                    for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                        *slot = Some(f(item));
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload is re-raised verbatim
+        // (the scope's implicit join would replace it with a generic one).
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// [`parallel_map`] over the chunks of an index range `0..len`: calls
+/// `f(start..end)` for consecutive sub-ranges of at most `chunk_len` indices
+/// and returns the per-chunk results in range order.
+///
+/// This is the shape bulk row scans want (detection, rectification): `f`
+/// produces a per-chunk accumulator the caller merges in order, which keeps
+/// the merged output identical to a single sequential scan.
+pub fn parallel_chunks<R: Send>(
+    parallelism: Parallelism,
+    len: usize,
+    chunk_len: usize,
+    f: &(impl Fn(std::ops::Range<usize>) -> R + Sync),
+) -> Vec<R> {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if len == 0 {
+        return Vec::new();
+    }
+    let ranges: Vec<std::ops::Range<usize>> = (0..len.div_ceil(chunk_len))
+        .map(|i| (i * chunk_len)..((i + 1) * chunk_len).min(len))
+        .collect();
+    parallel_map(parallelism, &ranges, &|r| f(r.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for p in [
+            Parallelism::Sequential,
+            Parallelism::Auto,
+            Parallelism::threads(2),
+            Parallelism::threads(7),
+            Parallelism::threads(256),
+        ] {
+            assert_eq!(parallel_map(p, &items, &|&x| x * x), expected, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn workers_never_exceed_items() {
+        assert_eq!(Parallelism::threads(8).workers_for(3), 3);
+        assert_eq!(Parallelism::Sequential.workers_for(100), 1);
+        assert_eq!(Parallelism::threads(8).workers_for(0), 1);
+        assert!(Parallelism::Auto.workers_for(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn threads_constructor_normalizes() {
+        assert_eq!(Parallelism::threads(0), Parallelism::Sequential);
+        assert_eq!(Parallelism::threads(1), Parallelism::Sequential);
+        assert_eq!(Parallelism::threads(6).workers_for(100), 6);
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out: Vec<u32> = parallel_map(Parallelism::Auto, &[] as &[u32], &|&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunked_ranges_cover_exactly() {
+        let chunks = parallel_chunks(Parallelism::threads(3), 10, 4, &|r| r);
+        assert_eq!(chunks, vec![0..4, 4..8, 8..10]);
+        assert!(parallel_chunks(Parallelism::Auto, 0, 4, &|r| r).is_empty());
+    }
+
+    #[test]
+    fn shared_budget_trips_across_workers() {
+        use crate::Budget;
+        let budget = Budget::with_work_cap(50);
+        let items: Vec<u32> = (0..100).collect();
+        let results = parallel_map(Parallelism::threads(4), &items, &|_| budget.charge(1).is_ok());
+        let ok = results.iter().filter(|&&ok| ok).count();
+        assert!(ok <= 50, "only 50 units were chargeable, {ok} charges succeeded");
+        assert!(budget.work_done() >= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items = [1u32, 2, 3, 4];
+        parallel_map(Parallelism::threads(2), &items, &|&x| {
+            if x == 3 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

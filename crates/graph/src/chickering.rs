@@ -81,9 +81,7 @@ fn edge_order(dag: &Dag) -> Vec<(usize, usize)> {
         pos[v] = i;
     }
     let mut edges = dag.edges();
-    edges.sort_by(|&(x1, y1), &(x2, y2)| {
-        pos[y1].cmp(&pos[y2]).then(pos[x2].cmp(&pos[x1]))
-    });
+    edges.sort_by(|&(x1, y1), &(x2, y2)| pos[y1].cmp(&pos[y2]).then(pos[x2].cmp(&pos[x1])));
     edges
 }
 

@@ -100,8 +100,8 @@ fn count_rec(
     let e = *edges.last().unwrap();
     let deleted: Vec<(u8, u8)> = edges[..edges.len() - 1].to_vec();
     let contracted = contract(&deleted, e);
-    let result = count_rec(&deleted, memo, steps, budget)?
-        + count_rec(&contracted, memo, steps, budget)?;
+    let result =
+        count_rec(&deleted, memo, steps, budget)? + count_rec(&contracted, memo, steps, budget)?;
     memo.insert(key, result);
     Some(result)
 }
@@ -239,8 +239,7 @@ mod tests {
         // 4-cycle: 2^4 - 2 = 14.
         assert_eq!(exact(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]), 14.0);
         // K4: 4! = 24.
-        let k4: Vec<(usize, usize)> =
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let k4: Vec<(usize, usize)> = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
         assert_eq!(exact(4, &k4), 24.0);
         // Edgeless: 1.
         assert_eq!(exact(5, &[]), 1.0);

@@ -253,8 +253,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let g = chain4();
         let order = g.topological_order().unwrap();
-        let pos: Vec<usize> =
-            (0..4).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+        let pos: Vec<usize> = (0..4).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
         assert!(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]);
     }
 

@@ -218,7 +218,8 @@ mod tests {
         let mut p = Pdag::new(3);
         p.add_undirected(0, 1);
         p.add_undirected(1, 2);
-        let (dags, status) = enumerate_extensions(&p, &Budget::with_deadline(std::time::Duration::ZERO));
+        let (dags, status) =
+            enumerate_extensions(&p, &Budget::with_deadline(std::time::Duration::ZERO));
         assert!(dags.is_empty());
         assert!(!status.is_complete());
     }

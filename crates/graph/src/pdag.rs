@@ -232,11 +232,8 @@ impl Pdag {
                 let und: Vec<usize> = self.undirected[a].iter().collect();
                 for &b in &und {
                     // find c, d ∈ und(a), both → b, c and d nonadjacent
-                    let cands: Vec<usize> = self
-                        .undirected[a]
-                        .intersection(self.directed_rev[b])
-                        .iter()
-                        .collect();
+                    let cands: Vec<usize> =
+                        self.undirected[a].intersection(self.directed_rev[b]).iter().collect();
                     let mut fire = false;
                     'outer: for (i, &c) in cands.iter().enumerate() {
                         for &d in &cands[i + 1..] {

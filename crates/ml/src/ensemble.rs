@@ -84,8 +84,9 @@ mod tests {
         let row = t.row_owned(0).unwrap();
         let votes = e.member_predictions(&row);
         let pred = e.predict_row(&row);
-        let agreement =
-            (votes[0] == votes[1]) as u8 + (votes[0] == votes[2]) as u8 + (votes[1] == votes[2]) as u8;
+        let agreement = (votes[0] == votes[1]) as u8
+            + (votes[0] == votes[2]) as u8
+            + (votes[1] == votes[2]) as u8;
         if agreement > 0 {
             // The prediction must be one of the majority values.
             assert!(votes.iter().filter(|v| **v == pred).count() >= 2);

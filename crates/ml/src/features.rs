@@ -25,8 +25,10 @@ impl FeatureSpace {
         assert!(label_col < table.num_columns(), "label column out of range");
         let feature_cols: Vec<usize> =
             (0..table.num_columns()).filter(|&c| c != label_col).collect();
-        let dicts =
-            feature_cols.iter().map(|&c| table.column(c).expect("in range").dictionary().clone()).collect();
+        let dicts = feature_cols
+            .iter()
+            .map(|&c| table.column(c).expect("in range").dictionary().clone())
+            .collect();
         let feature_names = feature_cols
             .iter()
             .map(|&c| table.schema().field(c).expect("in range").name().to_string())
@@ -66,9 +68,7 @@ impl FeatureSpace {
             .iter()
             .zip(&self.dicts)
             .map(|(name, dict)| {
-                row.get_by_name(name)
-                    .and_then(|v| dict.lookup(v))
-                    .filter(|&c| c != NULL_CODE)
+                row.get_by_name(name).and_then(|v| dict.lookup(v)).filter(|&c| c != NULL_CODE)
             })
             .collect()
     }

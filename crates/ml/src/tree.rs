@@ -128,9 +128,7 @@ fn build(
         .unwrap_or(0);
     let node_entropy = entropy(&counts, indices.len());
 
-    if depth >= config.max_depth
-        || indices.len() < config.min_samples_split
-        || node_entropy == 0.0
+    if depth >= config.max_depth || indices.len() < config.min_samples_split || node_entropy == 0.0
     {
         return Node::Leaf { label: majority };
     }

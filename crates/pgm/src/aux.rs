@@ -23,7 +23,11 @@ use rand::Rng;
 /// `(i, (i + s) mod n)`; shifts are drawn without replacement until the
 /// target is met. Shift 0 is excluded (it would compare rows to themselves
 /// and yield all-ones vectors carrying no information).
-pub fn auxiliary_sample<R: Rng>(data: &EncodedData, target_pairs: usize, rng: &mut R) -> EncodedData {
+pub fn auxiliary_sample<R: Rng>(
+    data: &EncodedData,
+    target_pairs: usize,
+    rng: &mut R,
+) -> EncodedData {
     let n = data.num_rows();
     let d = data.num_attrs();
     assert!(n >= 2, "auxiliary sampling needs at least two rows");
@@ -96,8 +100,7 @@ mod tests {
         // I[a] = 1 implies I[b] = 1.
         let a: Vec<u32> = (0..50).map(|i| i % 5).collect();
         let b = a.clone();
-        let data =
-            EncodedData::from_parts(vec![a, b], vec![5, 5], vec!["a".into(), "b".into()]);
+        let data = EncodedData::from_parts(vec![a, b], vec![5, 5], vec!["a".into(), "b".into()]);
         let aux = auxiliary_sample(&data, 200, &mut rng());
         for i in 0..aux.num_rows() {
             if aux.column(0)[i] == 1 {
@@ -148,11 +151,7 @@ mod tests {
 
     #[test]
     fn respects_target_lower_bound() {
-        let data = EncodedData::from_parts(
-            vec![vec![0, 1, 0, 1, 0, 1]],
-            vec![2],
-            vec!["a".into()],
-        );
+        let data = EncodedData::from_parts(vec![vec![0, 1, 0, 1, 0, 1]], vec![2], vec!["a".into()]);
         // Target beyond capacity clamps to n-1 shifts.
         let aux = auxiliary_sample(&data, 1_000_000, &mut rng());
         assert_eq!(aux.num_rows(), 5 * 6);

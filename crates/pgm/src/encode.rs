@@ -21,11 +21,8 @@ impl EncodedData {
             let base = col.distinct_count();
             let has_null = col.codes().contains(&NULL_CODE);
             let card = base + usize::from(has_null);
-            let codes = col
-                .codes()
-                .iter()
-                .map(|&c| if c == NULL_CODE { base as u32 } else { c })
-                .collect();
+            let codes =
+                col.codes().iter().map(|&c| if c == NULL_CODE { base as u32 } else { c }).collect();
             columns.push(codes);
             // A column of all nulls still needs cardinality ≥ 1.
             cards.push(card.max(1));

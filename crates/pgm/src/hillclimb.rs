@@ -55,7 +55,9 @@ pub fn hill_climb_dag(data: &EncodedData, config: &HillClimbConfig) -> Dag {
                     let delta = scorer.family_score(v, pa) - scorer.family_score(v, parents[v]);
                     consider(&mut best, Move::Delete(u, v), delta);
                     // Reverse to v → u.
-                    if parents[u].len() < config.max_parents && !creates_cycle_on_reverse(&dag, u, v) {
+                    if parents[u].len() < config.max_parents
+                        && !creates_cycle_on_reverse(&dag, u, v)
+                    {
                         let mut pa_u = parents[u];
                         pa_u.insert(v);
                         let delta = delta + scorer.family_score(u, pa_u)
@@ -198,11 +200,8 @@ mod tests {
         let n = 2000;
         let cols: Vec<Vec<u32>> =
             (0..3).map(|_| (0..n).map(|_| (rng() % 4) as u32).collect()).collect();
-        let data = EncodedData::from_parts(
-            cols,
-            vec![4, 4, 4],
-            (0..3).map(|i| format!("a{i}")).collect(),
-        );
+        let data =
+            EncodedData::from_parts(cols, vec![4, 4, 4], (0..3).map(|i| format!("a{i}")).collect());
         let dag = hill_climb_dag(&data, &HillClimbConfig::default());
         assert_eq!(dag.num_edges(), 0, "{:?}", dag.edges());
     }

@@ -4,7 +4,7 @@ use crate::aux::auxiliary_sample;
 use crate::encode::EncodedData;
 use crate::oracle::DataOracle;
 use crate::pc::{pc_algorithm_governed, PcConfig};
-use guardrail_governor::{Budget, StageStatus};
+use guardrail_governor::{Budget, Parallelism, StageStatus};
 use guardrail_graph::Pdag;
 use guardrail_table::Table;
 use rand::rngs::StdRng;
@@ -49,6 +49,9 @@ pub struct LearnConfig {
     pub aux_pairs: usize,
     /// Seed for shift selection.
     pub seed: u64,
+    /// Worker-count policy for the per-level CI tests of PC. Results are
+    /// identical for any worker count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for LearnConfig {
@@ -61,6 +64,7 @@ impl Default for LearnConfig {
             max_parents: 3,
             aux_pairs: 50_000,
             seed: 0xA5A5,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -115,7 +119,7 @@ pub fn learn_cpdag_encoded_governed(
                 DataOracle::new(&view).with_alpha(config.alpha).with_statistic_scale(scale);
             pc_algorithm_governed(
                 &oracle,
-                PcConfig { max_cond_size: config.max_cond_size },
+                PcConfig { max_cond_size: config.max_cond_size, parallelism: config.parallelism },
                 budget,
             )
         }
@@ -170,8 +174,7 @@ mod tests {
     fn learns_chain_skeleton_from_data() {
         let table = chain_table(4000, 1);
         for sampler in [Sampler::Auxiliary, Sampler::Identity] {
-            let cpdag =
-                learn_cpdag(&table, &LearnConfig { sampler, ..LearnConfig::default() });
+            let cpdag = learn_cpdag(&table, &LearnConfig { sampler, ..LearnConfig::default() });
             // Chain skeleton: zip—city, city—state, and no zip—state edge.
             assert!(cpdag.adjacent(0, 1), "{sampler:?}: zip—city missing");
             assert!(cpdag.adjacent(1, 2), "{sampler:?}: city—state missing");

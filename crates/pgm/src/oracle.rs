@@ -1,21 +1,113 @@
-//! Conditional-independence oracles.
+//! Conditional-independence oracles and their sufficient-statistics cache.
 
 use crate::encode::EncodedData;
 use guardrail_graph::{d_separated, Dag, NodeSet};
 use guardrail_stats::independence::{ci_test, pack_strata, CiTestKind};
+use guardrail_stats::CiTestResult;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Answers queries of the form "is `x ⫫ y | z`?".
 ///
 /// The PC algorithm is written against this trait so tests can swap in a
 /// ground-truth [`DagOracle`] (d-separation under faithfulness) for a
-/// statistical [`DataOracle`].
-pub trait IndependenceOracle {
+/// statistical [`DataOracle`]. Implementations must be [`Sync`]: the PC
+/// skeleton phase issues the per-level CI tests from worker threads against
+/// a shared oracle reference.
+pub trait IndependenceOracle: Sync {
     /// Returns `true` when `x` and `y` are judged conditionally independent
     /// given `z`.
     fn independent(&self, x: usize, y: usize, z: NodeSet) -> bool;
 
     /// Number of variables.
     fn num_vars(&self) -> usize;
+}
+
+/// Counters of the [`StatsCache`], readable while the oracle is in use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsCacheStats {
+    /// CI-test results answered from the cache.
+    pub result_hits: u64,
+    /// CI-test results that had to be computed.
+    pub result_misses: u64,
+    /// Stratum-key vectors reused across tests with the same conditioning set.
+    pub strata_hits: u64,
+    /// Stratum-key vectors packed fresh.
+    pub strata_misses: u64,
+}
+
+/// Concurrent memoization of the sufficient statistics behind CI tests.
+///
+/// PC-stable revisits the same statistics many times: at each level the pair
+/// `(x, y)` is probed from both adjacency sides (identical test, swapped
+/// arguments), and the packed stratum keys of a conditioning set `Z` are
+/// shared by *every* pair tested against `Z`. The cache memoizes both
+/// layers:
+///
+/// * **Test results** keyed by `(min(x,y), max(x,y), Z)`. The G²/X²
+///   statistic and its degrees of freedom are invariant under transposing
+///   the contingency table, so the symmetric key is sound.
+/// * **Stratum keys** keyed by `Z` (`None` records an unpackable — too
+///   high-cardinality — conditioning set).
+///
+/// Both maps sit behind [`RwLock`]s so concurrent per-edge tests share the
+/// cache; racing threads may compute the same entry twice, but the value is
+/// deterministic so the race is benign and lock hold times stay tiny.
+#[derive(Debug, Default)]
+pub struct StatsCache {
+    results: RwLock<HashMap<(usize, usize, NodeSet), CiTestResult>>,
+    strata: RwLock<HashMap<NodeSet, Option<Arc<Vec<u64>>>>>,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    strata_hits: AtomicU64,
+    strata_misses: AtomicU64,
+}
+
+impl StatsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> StatsCacheStats {
+        StatsCacheStats {
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            strata_hits: self.strata_hits.load(Ordering::Relaxed),
+            strata_misses: self.strata_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn get_or_compute_result(
+        &self,
+        key: (usize, usize, NodeSet),
+        compute: impl FnOnce() -> CiTestResult,
+    ) -> CiTestResult {
+        if let Some(hit) = self.results.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        self.result_misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        self.results.write().unwrap_or_else(|e| e.into_inner()).insert(key, value);
+        value
+    }
+
+    fn get_or_pack_strata(
+        &self,
+        z: NodeSet,
+        pack: impl FnOnce() -> Option<Vec<u64>>,
+    ) -> Option<Arc<Vec<u64>>> {
+        if let Some(hit) = self.strata.read().unwrap_or_else(|e| e.into_inner()).get(&z) {
+            self.strata_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.strata_misses.fetch_add(1, Ordering::Relaxed);
+        let value = pack().map(Arc::new);
+        self.strata.write().unwrap_or_else(|e| e.into_inner()).entry(z).or_insert(value).clone()
+    }
 }
 
 /// Statistical oracle over encoded data using a chi-squared family test.
@@ -38,13 +130,24 @@ pub struct DataOracle<'a> {
     /// this to `source_rows / pairs` restores the effective sample size
     /// (1.0 for i.i.d. data).
     pub statistic_scale: f64,
+    /// Memoized sufficient statistics; `None` disables caching (ablation and
+    /// consistency testing).
+    cache: Option<StatsCache>,
 }
 
 impl<'a> DataOracle<'a> {
     /// Creates an oracle with the conventional `alpha = 0.05`, G² statistic,
-    /// and 5-observations-per-cell reliability floor.
+    /// 5-observations-per-cell reliability floor, and the statistics cache
+    /// enabled.
     pub fn new(data: &'a EncodedData) -> Self {
-        Self { data, alpha: 0.05, kind: CiTestKind::G2, min_obs_per_cell: 5.0, statistic_scale: 1.0 }
+        Self {
+            data,
+            alpha: 0.05,
+            kind: CiTestKind::G2,
+            min_obs_per_cell: 5.0,
+            statistic_scale: 1.0,
+            cache: Some(StatsCache::new()),
+        }
     }
 
     /// Sets the significance level.
@@ -61,19 +164,33 @@ impl<'a> DataOracle<'a> {
         self.statistic_scale = scale;
         self
     }
-}
 
-impl IndependenceOracle for DataOracle<'_> {
-    fn independent(&self, x: usize, y: usize, z: NodeSet) -> bool {
+    /// Enables or disables the sufficient-statistics cache (enabled by
+    /// default). Disabling recomputes every query from the raw columns —
+    /// results must be identical; see the oracle-cache consistency tests.
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache = if enabled { Some(StatsCache::new()) } else { None };
+        self
+    }
+
+    /// Hit/miss counters of the statistics cache (zeros when disabled).
+    pub fn cache_stats(&self) -> StatsCacheStats {
+        self.cache.as_ref().map(StatsCache::stats).unwrap_or_default()
+    }
+
+    /// The raw test behind [`IndependenceOracle::independent`]: `None` when
+    /// the query is untestable (too sparse for the reliability floor, or a
+    /// conditioning space too large to index), `Some(result)` otherwise. The
+    /// returned statistic is unscaled; [`DataOracle::statistic_scale`] is
+    /// applied at decision time.
+    pub fn ci_result(&self, x: usize, y: usize, z: NodeSet) -> Option<CiTestResult> {
         let d = self.data;
         let n = d.num_rows() as f64;
-        let nx = d.card(x);
-        let ny = d.card(y);
 
         // Reliability heuristic: skip tests whose contingency table would be
-        // too sparse to trust; report independence (conservative for edge
-        // removal — an unreliable edge is dropped rather than kept).
-        let mut cells = (nx * ny) as f64;
+        // too sparse to trust (the caller reports independence — conservative
+        // for edge removal: an unreliable edge is dropped rather than kept).
+        let mut cells = (d.card(x) * d.card(y)) as f64;
         for zi in z.iter() {
             cells *= d.card(zi) as f64;
             if cells > n {
@@ -81,21 +198,55 @@ impl IndependenceOracle for DataOracle<'_> {
             }
         }
         if n < self.min_obs_per_cell * cells {
-            return true;
+            return None;
         }
 
+        // The statistic is symmetric in (x, y) — transposing a contingency
+        // table changes neither G²/X² nor the df — so tests from both
+        // adjacency sides share one cache entry under the ordered key.
+        let (a, b) = (x.min(y), x.max(y));
         if z.is_empty() {
-            let r = ci_test(self.kind, d.column(x), d.column(y), None, nx, ny);
-            return self.decide(r);
+            let run = || ci_test(self.kind, d.column(a), d.column(b), None, d.card(a), d.card(b));
+            return Some(match &self.cache {
+                Some(cache) => cache.get_or_compute_result((a, b, z), run),
+                None => run(),
+            });
         }
-        let z_cols: Vec<&[u32]> = z.iter().map(|i| d.column(i)).collect();
-        let z_cards: Vec<usize> = z.iter().map(|i| d.card(i)).collect();
-        match pack_strata(&z_cols, &z_cards) {
-            Some(keys) => {
-                let r = ci_test(self.kind, d.column(x), d.column(y), Some(&keys), nx, ny);
-                self.decide(r)
-            }
-            // Conditioning space too large to even index: treat as untestable.
+
+        let pack = || {
+            let z_cols: Vec<&[u32]> = z.iter().map(|i| d.column(i)).collect();
+            let z_cards: Vec<usize> = z.iter().map(|i| d.card(i)).collect();
+            pack_strata(&z_cols, &z_cards)
+        };
+        let keys = match &self.cache {
+            Some(cache) => cache.get_or_pack_strata(z, pack)?,
+            // Conditioning space too large to even index: untestable.
+            None => Arc::new(pack()?),
+        };
+        let run =
+            || ci_test(self.kind, d.column(a), d.column(b), Some(&keys), d.card(a), d.card(b));
+        Some(match &self.cache {
+            Some(cache) => cache.get_or_compute_result((a, b, z), run),
+            None => run(),
+        })
+    }
+
+    /// The corrected p-value of the query, `None` when untestable. Used by
+    /// the cache-consistency tests; `independent` is `p > alpha` (or `true`
+    /// on `None`).
+    pub fn p_value(&self, x: usize, y: usize, z: NodeSet) -> Option<f64> {
+        let r = self.ci_result(x, y, z)?;
+        if r.df == 0.0 {
+            return Some(1.0);
+        }
+        Some(guardrail_stats::ChiSquared::new(r.df).sf(r.statistic * self.statistic_scale))
+    }
+}
+
+impl IndependenceOracle for DataOracle<'_> {
+    fn independent(&self, x: usize, y: usize, z: NodeSet) -> bool {
+        match self.ci_result(x, y, z) {
+            Some(r) => self.decide(r),
             None => true,
         }
     }
@@ -108,7 +259,7 @@ impl IndependenceOracle for DataOracle<'_> {
 impl DataOracle<'_> {
     /// Applies the effective-sample-size correction and the significance
     /// threshold to a raw test result.
-    fn decide(&self, r: guardrail_stats::CiTestResult) -> bool {
+    fn decide(&self, r: CiTestResult) -> bool {
         if r.df == 0.0 {
             return true;
         }
@@ -246,5 +397,103 @@ mod tests {
         let o = DagOracle::new(dag);
         assert!(o.independent(0, 1, NodeSet::EMPTY));
         assert!(!o.independent(0, 1, NodeSet::singleton(2)));
+    }
+
+    /// A random 6-attribute table with enough rows that most queries pass the
+    /// reliability floor.
+    fn random_data(seed: u64, rows: usize) -> EncodedData {
+        let mut rng = xorshift(seed);
+        let cards = [2usize, 3, 2, 4, 2, 3];
+        let cols: Vec<Vec<u32>> =
+            cards.iter().map(|&c| (0..rows).map(|_| (rng() % c as u64) as u32).collect()).collect();
+        EncodedData::from_parts(
+            cols,
+            cards.to_vec(),
+            (0..cards.len()).map(|i| format!("a{i}")).collect(),
+        )
+    }
+
+    /// Property: for every (x, y, Z) query — in both argument orders — the
+    /// cached oracle answers exactly what the uncached oracle computes from
+    /// the raw columns, including untestability.
+    #[test]
+    fn cached_p_values_match_uncached() {
+        let data = random_data(7, 4000);
+        let cached = DataOracle::new(&data).with_statistic_scale(0.5);
+        let uncached = DataOracle::new(&data).with_statistic_scale(0.5).with_cache(false);
+        let n = data.num_attrs();
+        for x in 0..n {
+            for y in 0..n {
+                if x == y {
+                    continue;
+                }
+                let others: Vec<usize> = (0..n).filter(|&i| i != x && i != y).collect();
+                let mut zs = vec![NodeSet::EMPTY];
+                zs.extend(others.iter().map(|&i| NodeSet::singleton(i)));
+                for (i, &a) in others.iter().enumerate() {
+                    for &b in &others[i + 1..] {
+                        zs.push(NodeSet::from_iter([a, b]));
+                    }
+                }
+                for z in zs {
+                    // Query twice so the second read is a guaranteed cache hit.
+                    let first = cached.p_value(x, y, z);
+                    let hit = cached.p_value(x, y, z);
+                    let fresh = uncached.p_value(x, y, z);
+                    assert_eq!(first, fresh, "x={x} y={y} z={z:?}");
+                    assert_eq!(hit, fresh, "x={x} y={y} z={z:?} (hit path)");
+                    assert_eq!(
+                        cached.independent(x, y, z),
+                        uncached.independent(x, y, z),
+                        "x={x} y={y} z={z:?} (decision)"
+                    );
+                }
+            }
+        }
+        let stats = cached.cache_stats();
+        assert!(stats.result_hits > 0, "repeat + swapped queries must hit: {stats:?}");
+        assert!(stats.strata_hits > 0, "shared conditioning sets must hit: {stats:?}");
+        assert_eq!(uncached.cache_stats(), StatsCacheStats::default());
+    }
+
+    /// The cache key is symmetric: (x, y) and (y, x) share one entry.
+    #[test]
+    fn swapped_arguments_share_cache_entry() {
+        let data = random_data(3, 2000);
+        let oracle = DataOracle::new(&data);
+        let z = NodeSet::singleton(2);
+        let p_xy = oracle.p_value(0, 1, z);
+        let misses_after_first = oracle.cache_stats().result_misses;
+        let p_yx = oracle.p_value(1, 0, z);
+        assert_eq!(p_xy, p_yx);
+        assert_eq!(oracle.cache_stats().result_misses, misses_after_first);
+        assert!(oracle.cache_stats().result_hits >= 1);
+    }
+
+    /// Concurrent queries against one shared oracle agree with a sequential
+    /// uncached baseline (the RwLock race on double-compute is benign).
+    #[test]
+    fn concurrent_queries_are_consistent() {
+        let data = random_data(9, 3000);
+        let cached = DataOracle::new(&data);
+        let uncached = DataOracle::new(&data).with_cache(false);
+        let queries: Vec<(usize, usize, NodeSet)> = (0..data.num_attrs())
+            .flat_map(|x| {
+                (0..data.num_attrs()).filter(move |&y| y != x).flat_map(move |y| {
+                    [NodeSet::EMPTY, NodeSet::singleton((y + 1) % 6)]
+                        .into_iter()
+                        .filter(move |z| !z.contains(x) && !z.contains(y))
+                        .map(move |z| (x, y, z))
+                })
+            })
+            .collect();
+        let parallel = guardrail_governor::parallel_map(
+            guardrail_governor::Parallelism::threads(4),
+            &queries,
+            &|&(x, y, z)| cached.p_value(x, y, z),
+        );
+        for (&(x, y, z), got) in queries.iter().zip(&parallel) {
+            assert_eq!(*got, uncached.p_value(x, y, z), "x={x} y={y} z={z:?}");
+        }
     }
 }

@@ -13,7 +13,7 @@
 //! 3. **Meek closure**: propagate compelled orientations (R1–R3).
 
 use crate::oracle::IndependenceOracle;
-use guardrail_governor::{Budget, Exhausted, StageStatus};
+use guardrail_governor::{parallel_map, Budget, Exhausted, Parallelism, StageStatus};
 use guardrail_graph::{NodeSet, Pdag};
 use std::collections::HashMap;
 
@@ -27,11 +27,16 @@ pub struct PcConfig {
     /// are shallow; 3 matches common PC practice and bounds the worst-case
     /// test count.
     pub max_cond_size: usize,
+    /// Worker count for the per-level CI tests. Within a level every edge's
+    /// subset search reads only the level-start adjacency snapshot
+    /// (PC-stable), so edges are embarrassingly parallel and the merged
+    /// result is identical for any worker count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PcConfig {
     fn default() -> Self {
-        Self { max_cond_size: 3 }
+        Self { max_cond_size: 3, parallelism: Parallelism::Auto }
     }
 }
 
@@ -109,9 +114,28 @@ pub fn pc_algorithm_governed<O: IndependenceOracle>(
     (pdag, status)
 }
 
+/// Outcome of one edge's subset search at one level.
+#[derive(Debug, Default)]
+struct PairOutcome {
+    /// Some pool offered a conditioning set of the level's size.
+    any_candidate: bool,
+    /// Separating set found — the edge is to be removed.
+    remove_with: Option<NodeSet>,
+    /// The budget tripped during this pair's tests.
+    exhausted: Option<Exhausted>,
+}
+
 /// Level-wise PC-stable skeleton refinement, charging `budget` one unit per
 /// CI test. Leaves `adj`/`sepsets` in a consistent partial state on
 /// exhaustion.
+///
+/// Within a level, the still-adjacent pairs are tested on worker threads:
+/// PC-stable's per-level adjacency snapshot makes every pair's subset search
+/// independent of the others' removals, so results merge deterministically
+/// in pair order and are identical for any worker count. Exhaustion
+/// mid-level keeps the removals that completed tests justified (each backed
+/// by a real independence verdict) and leaves every untested edge in place —
+/// the conservative supergraph guarantee is preserved.
 fn refine_skeleton<O: IndependenceOracle>(
     oracle: &O,
     config: PcConfig,
@@ -119,45 +143,73 @@ fn refine_skeleton<O: IndependenceOracle>(
     adj: &mut [NodeSet],
     sepsets: &mut HashMap<(usize, usize), NodeSet>,
 ) -> Result<(), Exhausted> {
-    let n = oracle.num_vars();
     for level in 0..=config.max_cond_size {
-        // Snapshot adjacencies for order independence (PC-stable).
+        // Snapshot adjacencies for order independence (PC-stable); each
+        // unordered pair is handled once per level.
         let snapshot = adj.to_vec();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (x, neighbors) in snapshot.iter().enumerate() {
+            pairs.extend(neighbors.iter().filter(|&y| y > x).map(|y| (x, y)));
+        }
+
+        let outcomes = parallel_map(config.parallelism, &pairs, &|&(x, y)| {
+            test_pair(oracle, &snapshot, x, y, level, budget)
+        });
+
+        // Deterministic merge in pair order.
         let mut any_candidate = false;
-        for x in 0..n {
-            for y in snapshot[x].iter() {
-                if y < x || !adj[x].contains(y) {
-                    continue; // handle each unordered pair once per level
-                }
-                let mut removed = false;
-                for (a, b) in [(x, y), (y, x)] {
-                    let mut pool = snapshot[a];
-                    pool.remove(b);
-                    if pool.len() < level {
-                        continue;
-                    }
-                    any_candidate = true;
-                    for s in pool.subsets_of_size(level) {
-                        budget.charge(1)?;
-                        if oracle.independent(a, b, s) {
-                            adj[x].remove(y);
-                            adj[y].remove(x);
-                            sepsets.insert(key(x, y), s);
-                            removed = true;
-                            break;
-                        }
-                    }
-                    if removed {
-                        break;
-                    }
-                }
+        let mut exhausted: Option<Exhausted> = None;
+        for (&(x, y), outcome) in pairs.iter().zip(&outcomes) {
+            any_candidate |= outcome.any_candidate;
+            if let Some(s) = outcome.remove_with {
+                adj[x].remove(y);
+                adj[y].remove(x);
+                sepsets.insert(key(x, y), s);
             }
+            if exhausted.is_none() {
+                exhausted.clone_from(&outcome.exhausted);
+            }
+        }
+        if let Some(e) = exhausted {
+            return Err(e);
         }
         if !any_candidate && level > 0 {
             break; // no pair has enough neighbors for larger sets
         }
     }
     Ok(())
+}
+
+/// Searches the conditioning-set pools of one edge at one level. Pure with
+/// respect to the snapshot: no shared mutable state beyond the budget.
+fn test_pair<O: IndependenceOracle>(
+    oracle: &O,
+    snapshot: &[NodeSet],
+    x: usize,
+    y: usize,
+    level: usize,
+    budget: &Budget,
+) -> PairOutcome {
+    let mut out = PairOutcome::default();
+    for (a, b) in [(x, y), (y, x)] {
+        let mut pool = snapshot[a];
+        pool.remove(b);
+        if pool.len() < level {
+            continue;
+        }
+        out.any_candidate = true;
+        for s in pool.subsets_of_size(level) {
+            if let Err(e) = budget.charge(1) {
+                out.exhausted = Some(e);
+                return out;
+            }
+            if oracle.independent(a, b, s) {
+                out.remove_with = Some(s);
+                return out;
+            }
+        }
+    }
+    out
 }
 
 fn key(x: usize, y: usize) -> (usize, usize) {
@@ -173,7 +225,7 @@ mod tests {
     fn learn_from_dag(dag: &Dag) -> Pdag {
         let oracle = DagOracle::new(dag.clone());
         // Oracle tests are exact; allow deep conditioning.
-        pc_algorithm(&oracle, PcConfig { max_cond_size: 6 })
+        pc_algorithm(&oracle, PcConfig { max_cond_size: 6, ..PcConfig::default() })
     }
 
     #[test]
@@ -227,7 +279,7 @@ mod tests {
         // must never drop true ones.
         let dag = Dag::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4)]).unwrap();
         let oracle = DagOracle::new(dag.clone());
-        let cpdag = pc_algorithm(&oracle, PcConfig { max_cond_size: 1 });
+        let cpdag = pc_algorithm(&oracle, PcConfig { max_cond_size: 1, ..PcConfig::default() });
         for (u, v) in dag.edges() {
             assert!(cpdag.adjacent(u, v), "true edge ({u},{v}) must survive");
         }

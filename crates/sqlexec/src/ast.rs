@@ -105,9 +105,7 @@ impl Expr {
     pub fn has_predict(&self) -> bool {
         match self {
             Expr::Predict { .. } => true,
-            Expr::Aggregate { arg, .. } => {
-                arg.as_ref().map(|e| e.has_predict()).unwrap_or(false)
-            }
+            Expr::Aggregate { arg, .. } => arg.as_ref().map(|e| e.has_predict()).unwrap_or(false),
             Expr::Column(_) | Expr::Literal(_) => false,
             Expr::Binary { left, right, .. } => left.has_predict() || right.has_predict(),
             Expr::Not(e) => e.has_predict(),
@@ -246,10 +244,8 @@ mod tests {
 
     #[test]
     fn predicates_and_flags() {
-        let agg = Expr::Aggregate {
-            func: AggFunc::Avg,
-            arg: Some(Box::new(Expr::Column("age".into()))),
-        };
+        let agg =
+            Expr::Aggregate { func: AggFunc::Avg, arg: Some(Box::new(Expr::Column("age".into()))) };
         assert!(agg.has_aggregate());
         assert!(!agg.has_predict());
 

@@ -82,10 +82,7 @@ mod tests {
     #[test]
     fn materialized_view_roundtrip() {
         let mut c = Catalog::new();
-        c.add_table(
-            "people",
-            Table::from_csv_str("city,age\nA,30\nA,40\nB,50\n").unwrap(),
-        );
+        c.add_table("people", Table::from_csv_str("city,age\nA,30\nA,40\nB,50\n").unwrap());
         c.add_materialized_view(
             "city_stats",
             "SELECT city, AVG(age) AS avg_age FROM people GROUP BY city ORDER BY city",

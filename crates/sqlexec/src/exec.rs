@@ -105,9 +105,7 @@ impl<'a> Executor<'a> {
         }
         let projections: Vec<String> =
             query.projections.iter().map(|p| format!("{} AS {}", p.expr, p.name)).collect();
-        if !query.group_by.is_empty()
-            || query.projections.iter().any(|p| p.expr.has_aggregate())
-        {
+        if !query.group_by.is_empty() || query.projections.iter().any(|p| p.expr.has_aggregate()) {
             let keys: Vec<String> = query.group_by.iter().map(|g| g.to_string()).collect();
             out.push_str(&format!(
                 "  Aggregate: GROUP BY [{}] -> [{}]\n",
@@ -121,11 +119,8 @@ impl<'a> Executor<'a> {
             out.push_str(&format!("  Project: [{}]\n", projections.join(", ")));
         }
         if !query.order_by.is_empty() {
-            let keys: Vec<String> = query
-                .order_by
-                .iter()
-                .map(|(e, o)| format!("{e} {:?}", o).to_uppercase())
-                .collect();
+            let keys: Vec<String> =
+                query.order_by.iter().map(|(e, o)| format!("{e} {:?}", o).to_uppercase()).collect();
             out.push_str(&format!("  Sort: {}\n", keys.join(", ")));
         }
         if let Some(l) = query.limit {
@@ -276,8 +271,8 @@ impl<'a> Executor<'a> {
                 groups.push((Vec::new(), Vec::new()));
             }
             groups.sort_by(|(ka, _), (kb, _)| ka.cmp(kb)); // deterministic output
-            // HAVING filters whole groups; aggregates inside it evaluate
-            // over the group's members.
+                                                           // HAVING filters whole groups; aggregates inside it evaluate
+                                                           // over the group's members.
             if let Some(having) = &query.having {
                 let mut kept = Vec::with_capacity(groups.len());
                 for (key, members) in groups {
@@ -434,11 +429,9 @@ fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value, SqlError> {
             }
             Err(SqlError::UnknownColumn(name.clone()))
         }
-        Expr::Predict { model } => env
-            .predictions
-            .get(model)
-            .cloned()
-            .ok_or_else(|| SqlError::UnknownModel(model.clone())),
+        Expr::Predict { model } => {
+            env.predictions.get(model).cloned().ok_or_else(|| SqlError::UnknownModel(model.clone()))
+        }
         Expr::Not(e) => {
             let v = eval(e, env)?;
             if v.is_null() {
@@ -543,9 +536,9 @@ fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value, SqlError> {
                 }
             }
         }
-        Expr::Aggregate { .. } => Err(SqlError::Semantic(
-            "aggregate used in a scalar context".into(),
-        )),
+        Expr::Aggregate { .. } => {
+            Err(SqlError::Semantic("aggregate used in a scalar context".into()))
+        }
     }
 }
 
@@ -559,42 +552,39 @@ where
     F: Fn(usize) -> Env<'p> + Copy,
 {
     match expr {
-        Expr::Aggregate { func, arg } => {
-            match func {
-                AggFunc::Count if arg.is_none() => Ok(Value::Int(members.len() as i64)),
-                _ => {
-                    let arg = arg.as_ref().expect("non-COUNT(*) aggregate has an argument");
-                    let mut values = Vec::with_capacity(members.len());
-                    for &ri in members {
-                        let v = eval(arg, &env_of(ri))?;
-                        if !v.is_null() {
-                            values.push(v);
-                        }
+        Expr::Aggregate { func, arg } => match func {
+            AggFunc::Count if arg.is_none() => Ok(Value::Int(members.len() as i64)),
+            _ => {
+                let arg = arg.as_ref().expect("non-COUNT(*) aggregate has an argument");
+                let mut values = Vec::with_capacity(members.len());
+                for &ri in members {
+                    let v = eval(arg, &env_of(ri))?;
+                    if !v.is_null() {
+                        values.push(v);
                     }
-                    match func {
-                        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
-                        AggFunc::Min => Ok(values.iter().min().cloned().unwrap_or(Value::Null)),
-                        AggFunc::Max => Ok(values.iter().max().cloned().unwrap_or(Value::Null)),
-                        AggFunc::Sum | AggFunc::Avg => {
-                            let nums: Option<Vec<f64>> =
-                                values.iter().map(|v| v.as_f64()).collect();
-                            let nums = nums.ok_or_else(|| {
-                                SqlError::Semantic("SUM/AVG over non-numeric values".into())
-                            })?;
-                            if nums.is_empty() {
-                                return Ok(Value::Null);
-                            }
-                            let sum: f64 = nums.iter().sum();
-                            match func {
-                                AggFunc::Sum => Ok(Value::float(sum)),
-                                AggFunc::Avg => Ok(Value::float(sum / nums.len() as f64)),
-                                _ => unreachable!(),
-                            }
+                }
+                match func {
+                    AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+                    AggFunc::Min => Ok(values.iter().min().cloned().unwrap_or(Value::Null)),
+                    AggFunc::Max => Ok(values.iter().max().cloned().unwrap_or(Value::Null)),
+                    AggFunc::Sum | AggFunc::Avg => {
+                        let nums: Option<Vec<f64>> = values.iter().map(|v| v.as_f64()).collect();
+                        let nums = nums.ok_or_else(|| {
+                            SqlError::Semantic("SUM/AVG over non-numeric values".into())
+                        })?;
+                        if nums.is_empty() {
+                            return Ok(Value::Null);
+                        }
+                        let sum: f64 = nums.iter().sum();
+                        match func {
+                            AggFunc::Sum => Ok(Value::float(sum)),
+                            AggFunc::Avg => Ok(Value::float(sum / nums.len() as f64)),
+                            _ => unreachable!(),
                         }
                     }
                 }
             }
-        }
+        },
         // Aggregate embedded in arithmetic, e.g. `AVG(x) * 100`.
         Expr::Binary { op, left, right } => {
             let l = eval_aggregate(left, members, _processed, env_of)?;
@@ -657,7 +647,9 @@ mod tests {
 
     #[test]
     fn group_by_aggregates() {
-        let t = run("SELECT city, AVG(age) AS a, COUNT(*) AS n FROM people GROUP BY city ORDER BY city");
+        let t = run(
+            "SELECT city, AVG(age) AS a, COUNT(*) AS n FROM people GROUP BY city ORDER BY city",
+        );
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.get(0, 0), Some(Value::from("A")));
         assert!((t.get(0, 1).unwrap().as_f64().unwrap() - 130.0 / 3.0).abs() < 1e-9);
@@ -673,7 +665,8 @@ mod tests {
 
     #[test]
     fn global_aggregate_without_group() {
-        let t = run("SELECT COUNT(*) AS n, MIN(age) AS lo, MAX(age) AS hi, SUM(age) AS s FROM people");
+        let t =
+            run("SELECT COUNT(*) AS n, MIN(age) AS lo, MAX(age) AS hi, SUM(age) AS s FROM people");
         assert_eq!(t.get(0, 0), Some(Value::Int(5)));
         assert_eq!(t.get(0, 1), Some(Value::Int(20)));
         assert_eq!(t.get(0, 2), Some(Value::Int(60)));
@@ -700,10 +693,8 @@ mod tests {
         assert!(plan.contains("Aggregate: GROUP BY [p]"), "{plan}");
         assert!(plan.contains("Limit: 3"), "{plan}");
         // With pushdown disabled the whole WHERE becomes residual.
-        let plan = exec
-            .with_pushdown(false)
-            .explain("SELECT age FROM people WHERE city = 'A'")
-            .unwrap();
+        let plan =
+            exec.with_pushdown(false).explain("SELECT age FROM people WHERE city = 'A'").unwrap();
         assert!(!plan.contains("Pushdown filter"), "{plan}");
         assert!(plan.contains("Residual filter"), "{plan}");
     }
@@ -764,10 +755,7 @@ mod tests {
         let c = catalog();
         let e = Executor::new(&c);
         assert!(matches!(e.run("SELECT a FROM missing"), Err(SqlError::UnknownTable(_))));
-        assert!(matches!(
-            e.run("SELECT nope FROM people"),
-            Err(SqlError::UnknownColumn(_))
-        ));
+        assert!(matches!(e.run("SELECT nope FROM people"), Err(SqlError::UnknownColumn(_))));
         assert!(matches!(
             e.run("SELECT PREDICT(ghost) FROM people"),
             Err(SqlError::UnknownModel(_))
@@ -822,10 +810,7 @@ mod tests {
         // Dirty inference data: income column corrupted (model input is city
         // + income? — use a model over city only by predicting income).
         let mut c = Catalog::new();
-        c.add_table(
-            "d",
-            Table::from_csv_str("city,income\nA,low\nB,low\n").unwrap(),
-        );
+        c.add_table("d", Table::from_csv_str("city,income\nA,low\nB,low\n").unwrap());
         c.add_model("m", Arc::new(model));
         let exec = Executor::new(&c).with_guardrail(&guard, ErrorScheme::Rectify);
         let out = exec.run("SELECT PREDICT(m) AS p, city FROM d ORDER BY city").unwrap();

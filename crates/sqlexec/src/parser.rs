@@ -272,11 +272,8 @@ impl Parser {
         self.punct(")")?;
         let mut chain: Option<Expr> = None;
         for item in items {
-            let eq = Expr::Binary {
-                op: BinOp::Eq,
-                left: Box::new(left.clone()),
-                right: Box::new(item),
-            };
+            let eq =
+                Expr::Binary { op: BinOp::Eq, left: Box::new(left.clone()), right: Box::new(item) };
             chain = Some(match chain {
                 None => eq,
                 Some(prev) => {
@@ -351,7 +348,10 @@ impl Parser {
                     return self.case_expr();
                 }
                 if let Some(func) = agg_func(&w) {
-                    if matches!(self.tokens.get(self.pos + 1).map(|s| &s.token), Some(Token::Punct("("))) {
+                    if matches!(
+                        self.tokens.get(self.pos + 1).map(|s| &s.token),
+                        Some(Token::Punct("("))
+                    ) {
                         self.pos += 2; // word + (
                         let arg = if func == AggFunc::Count && self.try_punct("*") {
                             None
@@ -363,7 +363,10 @@ impl Parser {
                     }
                 }
                 if w.eq_ignore_ascii_case("PREDICT")
-                    && matches!(self.tokens.get(self.pos + 1).map(|s| &s.token), Some(Token::Punct("(")))
+                    && matches!(
+                        self.tokens.get(self.pos + 1).map(|s| &s.token),
+                        Some(Token::Punct("("))
+                    )
                 {
                     self.pos += 2;
                     let model = match self.next() {
@@ -393,8 +396,7 @@ impl Parser {
         if branches.is_empty() {
             return Err(self.err("CASE needs at least one WHEN"));
         }
-        let otherwise =
-            if self.try_keyword("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        let otherwise = if self.try_keyword("ELSE") { Some(Box::new(self.expr()?)) } else { None };
         self.keyword("END")?;
         Ok(Expr::Case { branches, otherwise })
     }
@@ -454,17 +456,16 @@ mod tests {
 
     #[test]
     fn parses_case_when_aggregate() {
-        let q = parse_query(
-            "SELECT AVG(CASE WHEN label = 1 THEN 1 ELSE 0 END) FROM t",
-        )
-        .unwrap();
+        let q = parse_query("SELECT AVG(CASE WHEN label = 1 THEN 1 ELSE 0 END) FROM t").unwrap();
         assert!(q.projections[0].expr.has_aggregate());
     }
 
     #[test]
     fn parses_count_star_and_order_limit() {
-        let q = parse_query("SELECT city, COUNT(*) AS n FROM t GROUP BY city ORDER BY n DESC, city LIMIT 5")
-            .unwrap();
+        let q = parse_query(
+            "SELECT city, COUNT(*) AS n FROM t GROUP BY city ORDER BY n DESC, city LIMIT 5",
+        )
+        .unwrap();
         assert_eq!(q.order_by.len(), 2);
         assert_eq!(q.order_by[0].1, SortOrder::Desc);
         assert_eq!(q.limit, Some(5));

@@ -122,7 +122,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                     w
                 } else {
                     while pos < bytes.len()
-                        && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_' || bytes[pos] == b'-')
+                        && (bytes[pos].is_ascii_alphanumeric()
+                            || bytes[pos] == b'_'
+                            || bytes[pos] == b'-')
                     {
                         // Hyphenated column names (marital-status) are words
                         // unless the hyphen is followed by a digit-only tail

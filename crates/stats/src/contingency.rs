@@ -40,9 +40,12 @@ impl ContingencyTable {
         assert_eq!(x.len(), z.len());
         let mut strata: HashMap<u64, ContingencyTable> = HashMap::new();
         for i in 0..x.len() {
-            let table = strata
-                .entry(z[i])
-                .or_insert_with(|| ContingencyTable { counts: vec![0; nx * ny], nx, ny, total: 0 });
+            let table = strata.entry(z[i]).or_insert_with(|| ContingencyTable {
+                counts: vec![0; nx * ny],
+                nx,
+                ny,
+                total: 0,
+            });
             table.counts[x[i] as usize * ny + y[i] as usize] += 1;
             table.total += 1;
         }

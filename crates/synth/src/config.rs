@@ -1,5 +1,6 @@
 //! Synthesis configuration.
 
+use guardrail_governor::Parallelism;
 use guardrail_pgm::LearnConfig;
 
 /// End-to-end synthesis parameters.
@@ -19,8 +20,10 @@ pub struct SynthesisConfig {
     pub max_dags: usize,
     /// Share statement fills across DAGs (§7's statement-level cache).
     pub use_cache: bool,
-    /// Synthesize per-DAG programs on worker threads.
-    pub parallel: bool,
+    /// Worker-count policy for the synthesis hot paths: per-DAG program
+    /// fills when the MEC has several members, per-statement sketch fills
+    /// when it does not. Results are identical for any worker count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SynthesisConfig {
@@ -30,7 +33,7 @@ impl Default for SynthesisConfig {
             learn: LearnConfig::default(),
             max_dags: 4096,
             use_cache: true,
-            parallel: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -40,6 +43,14 @@ impl SynthesisConfig {
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
         assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0,1)");
         self.epsilon = epsilon;
+        self
+    }
+
+    /// Overrides the worker-count policy for every pipeline stage this config
+    /// reaches (structure learning *and* synthesis).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self.learn.parallelism = parallelism;
         self
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::sketch::{ProgramSketch, StatementSketch};
 use guardrail_dsl::ast::{Branch, Condition, Program, Statement};
-use guardrail_governor::{Budget, Exhausted};
+use guardrail_governor::{parallel_map, Budget, Exhausted, Parallelism, StageStatus};
 use guardrail_table::{Table, NULL_CODE};
 use std::collections::HashMap;
 
@@ -185,8 +185,11 @@ pub fn fill_statement_sketch_governed(
     if branches.is_empty() {
         return Ok(None);
     }
-    let statement =
-        Statement { given: sketch.given.iter().map(|&c| name(c)).collect(), on: name(sketch.on), branches };
+    let statement = Statement {
+        given: sketch.given.iter().map(|&c| name(c)).collect(),
+        on: name(sketch.on),
+        branches,
+    };
     debug_assert!(statement.validate().is_ok());
     Ok(Some(FilledStatement {
         statement,
@@ -194,6 +197,45 @@ pub fn fill_statement_sketch_governed(
         loss: total_loss,
         coverage: support as f64 / n as f64,
     }))
+}
+
+/// Fills every statement of `sketch` with `fill_one` across worker threads,
+/// merging in statement order. Returns the filled statements, the number of
+/// statements skipped by budget exhaustion, and the stage status (the first
+/// exhaustion in statement order, when any).
+///
+/// Statements read only the immutable table, so they are independent work
+/// items; the shared [`Budget`] inside `fill_one` is the only cross-thread
+/// state (an atomic work counter, charged cooperatively). The merge keeps
+/// every completed fill — each is bit-identical to what an unbudgeted run
+/// would produce — and counts exhausted statements as skipped, so a degraded
+/// program scores with those statements as zeros and can never outrank the
+/// complete fill of the same sketch.
+pub fn fill_sketch_statements_governed<F>(
+    sketch: &ProgramSketch,
+    parallelism: Parallelism,
+    fill_one: F,
+) -> (Vec<FilledStatement>, usize, StageStatus)
+where
+    F: Fn(&StatementSketch) -> Result<Option<FilledStatement>, Exhausted> + Sync,
+{
+    let outcomes = parallel_map(parallelism, &sketch.statements, &|s| fill_one(s));
+    let mut filled = Vec::new();
+    let mut skipped = 0usize;
+    let mut status = StageStatus::Complete;
+    for outcome in outcomes {
+        match outcome {
+            Ok(Some(f)) => filled.push(f),
+            Ok(None) => {} // ⊥: a completed verdict, not a skip
+            Err(e) => {
+                skipped += 1;
+                if status.is_complete() {
+                    status = StageStatus::degraded(FILL_STAGE, e);
+                }
+            }
+        }
+    }
+    (filled, skipped, status)
 }
 
 /// Fills a whole program sketch (Alg. 1). Statements that fill to `⊥` are
@@ -277,10 +319,9 @@ mod tests {
 
     #[test]
     fn multi_determinant_conditions() {
-        let t = Table::from_csv_str(
-            "a,b,c\n0,0,x\n0,0,x\n0,1,y\n0,1,y\n1,0,y\n1,0,y\n1,1,x\n1,1,x\n",
-        )
-        .unwrap();
+        let t =
+            Table::from_csv_str("a,b,c\n0,0,x\n0,0,x\n0,1,y\n0,1,y\n1,0,y\n1,0,y\n1,1,x\n1,1,x\n")
+                .unwrap();
         // c = XOR(a, b): needs both determinants.
         let xor = StatementSketch::new(vec![0, 1], 2);
         let f = fill_statement_sketch(&t, &xor, 0.0).unwrap();

@@ -9,15 +9,20 @@
 //!
 //! Per-DAG fills share the statement cache (§7) because DAGs in one MEC
 //! differ only in reversible-edge orientation — most parent sets repeat.
-//! With `parallel` enabled the per-DAG work is spread over worker threads
-//! (std scoped threads; the cache is `Sync`).
+//! The per-DAG work is spread over worker threads via the governor's
+//! [`parallel_map`] (the cache is `Sync`); a singleton MEC parallelizes over
+//! its statements instead so the worker pool is never idle.
+//!
+//! [`parallel_map`]: guardrail_governor::parallel_map
 
 use crate::cache::{CacheStats, StatementCache};
 use crate::config::SynthesisConfig;
-use crate::fill::{fill_statement_sketch_governed, FilledStatement, FILL_STAGE};
+use crate::fill::{
+    fill_sketch_statements_governed, fill_statement_sketch_governed, FilledStatement,
+};
 use crate::sketch::ProgramSketch;
 use guardrail_dsl::ast::Program;
-use guardrail_governor::{Budget, DegradationReport, StageStatus};
+use guardrail_governor::{parallel_map, Budget, DegradationReport, Parallelism, StageStatus};
 use guardrail_graph::{enumerate_extensions, Dag, Pdag};
 use guardrail_pgm::learn_cpdag_governed;
 use guardrail_table::Table;
@@ -65,8 +70,7 @@ pub fn synthesize_governed(
     let (cpdag, learn_status) = learn_cpdag_governed(table, &config.learn, budget);
     degradation.record(learn_status);
     let mut outcome = synthesize_from_cpdag_governed(table, &cpdag, config, budget);
-    degradation
-        .merge(std::mem::replace(&mut outcome.degradation, DegradationReport::complete()));
+    degradation.merge(std::mem::replace(&mut outcome.degradation, DegradationReport::complete()));
     outcome.degradation = degradation;
     outcome
 }
@@ -96,32 +100,26 @@ pub fn synthesize_from_cpdag_governed(
     degradation.record(enum_status);
     let cache = StatementCache::new();
 
+    // With several DAGs the outer map saturates the workers; a singleton MEC
+    // hands the parallelism down to its statements instead. Never both, so
+    // thread counts stay bounded by the configured policy.
+    let stmt_parallelism =
+        if dags.len() <= 1 { config.parallelism } else { Parallelism::Sequential };
+
     let fill_dag = |dag: &Dag| -> (f64, Vec<FilledStatement>, StageStatus) {
         let sketch = ProgramSketch::from_dag(dag);
-        let mut filled = Vec::with_capacity(sketch.len());
-        let mut status = StageStatus::Complete;
-        let mut skipped = 0usize;
-        for (i, s) in sketch.statements.iter().enumerate() {
-            let outcome = if config.use_cache {
-                cache.try_get_or_fill(s, || {
+        // Anytime: exhausted statements are skipped, completed ones kept —
+        // the argmax below still sees a valid (partial) candidate program.
+        let (filled, skipped, status) =
+            fill_sketch_statements_governed(&sketch, stmt_parallelism, |s| {
+                if config.use_cache {
+                    cache.try_get_or_fill(s, || {
+                        fill_statement_sketch_governed(table, s, config.epsilon, budget)
+                    })
+                } else {
                     fill_statement_sketch_governed(table, s, config.epsilon, budget)
-                })
-            } else {
-                fill_statement_sketch_governed(table, s, config.epsilon, budget)
-            };
-            match outcome {
-                Ok(Some(f)) => filled.push(f),
-                Ok(None) => {}
-                Err(e) => {
-                    // Anytime: keep this DAG's statements filled so far and
-                    // skip the rest — the argmax below still sees a valid
-                    // (partial) candidate program.
-                    status = StageStatus::degraded(FILL_STAGE, e);
-                    skipped = sketch.statements.len() - i;
-                    break;
                 }
-            }
-        }
+            });
         // Budget-skipped statements count as zeros in the average, so a
         // partial fill never scores above the complete fill of the same DAG
         // (⊥ statements stay excluded, exactly as in an unbudgeted run).
@@ -134,11 +132,7 @@ pub fn synthesize_from_cpdag_governed(
     };
 
     let results: Vec<(f64, Vec<FilledStatement>, StageStatus)> =
-        if config.parallel && dags.len() > 1 {
-            parallel_map(&dags, &fill_dag)
-        } else {
-            dags.iter().map(&fill_dag).collect()
-        };
+        parallel_map(config.parallelism, &dags, &fill_dag);
 
     // The budget is shared, so once it exhausts every remaining fill trips
     // on it; reporting the first degraded fill covers the stage.
@@ -179,26 +173,6 @@ pub fn synthesize_from_cpdag_governed(
         statements,
         degradation,
     }
-}
-
-/// Maps `f` over `items` on up to `available_parallelism` scoped threads,
-/// preserving order.
-fn parallel_map<T: Sync, R: Send>(items: &[T], f: &(impl Fn(&T) -> R + Sync)) -> Vec<R> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let workers = workers.min(items.len()).max(1);
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let chunk = items.len().div_ceil(workers);
-    // std::thread::scope re-raises worker panics when the scope closes.
-    std::thread::scope(|scope| {
-        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
 #[cfg(test)]
@@ -274,17 +248,23 @@ mod tests {
         let table = chain_table(2000);
         let outcome = synthesize(&table, &config());
         if outcome.mec_size > 1 {
-            assert!(outcome.cache_stats.hits > 0, "MEC of size {} produced no cache hits", outcome.mec_size);
+            assert!(
+                outcome.cache_stats.hits > 0,
+                "MEC of size {} produced no cache hits",
+                outcome.mec_size
+            );
         }
     }
 
     #[test]
     fn parallel_and_sequential_agree() {
         let table = chain_table(1500);
-        let seq = synthesize(&table, &SynthesisConfig { parallel: false, ..config() });
-        let par = synthesize(&table, &SynthesisConfig { parallel: true, ..config() });
-        assert_eq!(seq.program, par.program);
-        assert_eq!(seq.coverage, par.coverage);
+        let seq = synthesize(&table, &config().with_parallelism(Parallelism::Sequential));
+        for threads in [2, 4, 16] {
+            let par = synthesize(&table, &config().with_parallelism(Parallelism::threads(threads)));
+            assert_eq!(seq.program, par.program, "{threads} threads");
+            assert_eq!(seq.coverage, par.coverage, "{threads} threads");
+        }
         let nocache = synthesize(&table, &SynthesisConfig { use_cache: false, ..config() });
         assert_eq!(seq.program, nocache.program);
     }

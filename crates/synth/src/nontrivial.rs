@@ -14,8 +14,8 @@
 //! hand-written sketches.
 
 use crate::sketch::{ProgramSketch, StatementSketch};
-use guardrail_pgm::{DataOracle, EncodedData, IndependenceOracle};
 use guardrail_graph::NodeSet;
+use guardrail_pgm::{DataOracle, EncodedData, IndependenceOracle};
 
 /// Local non-triviality (Def. 4.1): `a_j ⫫̸ a_k` for the determinant set
 /// `a_k`, judged by a G² test at level `alpha`.
@@ -64,8 +64,7 @@ pub fn is_globally_nontrivial(
             if z.is_empty() || z.len() > max_cond {
                 continue;
             }
-            let survives =
-                s.given.iter().any(|&k| !oracle.independent(s.on, k, z));
+            let survives = s.given.iter().any(|&k| !oracle.independent(s.on, k, z));
             if !survives {
                 return false;
             }

@@ -89,11 +89,7 @@ fn binomial(n: usize, k: usize) -> u64 {
 
 /// Runs the sketch-free baseline under `budget` (one work unit per generated
 /// constraint).
-pub fn optsmt_synthesize(
-    table: &Table,
-    config: &OptSmtConfig,
-    budget: &Budget,
-) -> OptSmtOutcome {
+pub fn optsmt_synthesize(table: &Table, config: &OptSmtConfig, budget: &Budget) -> OptSmtOutcome {
     let attrs = table.num_columns();
     let rows = table.num_rows() as u64;
     let search_space = candidate_space(attrs, config.max_given_size);
@@ -198,11 +194,8 @@ mod tests {
 
     #[test]
     fn times_out_under_budget() {
-        let out = optsmt_synthesize(
-            &tiny_table(),
-            &OptSmtConfig::default(),
-            &Budget::with_work_cap(3),
-        );
+        let out =
+            optsmt_synthesize(&tiny_table(), &OptSmtConfig::default(), &Budget::with_work_cap(3));
         match out {
             OptSmtOutcome::Timeout { constraints, search_space, .. } => {
                 assert!(constraints > 3);

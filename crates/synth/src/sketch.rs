@@ -123,8 +123,7 @@ mod tests {
 
     #[test]
     fn display_uses_names() {
-        let schema =
-            Schema::from_pairs([("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
+        let schema = Schema::from_pairs([("zip", DataType::Int), ("city", DataType::Str)]).unwrap();
         let s = StatementSketch::new(vec![0], 1);
         assert_eq!(s.display(&schema).to_string(), "GIVEN zip ON city HAVING \u{25A1}");
     }

@@ -54,7 +54,10 @@ impl Column {
     /// # Panics
     /// Panics if the code is not in this column's dictionary.
     pub fn push_code(&mut self, code: Code) {
-        assert!(code == NULL_CODE || (code as usize) < self.dict.len(), "code {code} outside dictionary");
+        assert!(
+            code == NULL_CODE || (code as usize) < self.dict.len(),
+            "code {code} outside dictionary"
+        );
         self.codes.push(code);
     }
 
@@ -97,7 +100,10 @@ impl Column {
 
     /// Overwrites the cell at `row` with an existing code.
     pub fn set_code(&mut self, row: usize, code: Code) {
-        assert!(code == NULL_CODE || (code as usize) < self.dict.len(), "code {code} outside dictionary");
+        assert!(
+            code == NULL_CODE || (code as usize) < self.dict.len(),
+            "code {code} outside dictionary"
+        );
         self.codes[row] = code;
     }
 

@@ -55,12 +55,13 @@ impl fmt::Display for TableError {
             TableError::RowIndexOutOfBounds { index, num_rows } => {
                 write!(f, "row index {index} out of bounds (table has {num_rows} rows)")
             }
-            TableError::LengthMismatch { expected, actual, column } => write!(
-                f,
-                "column {column:?} has {actual} rows but the table has {expected}"
-            ),
+            TableError::LengthMismatch { expected, actual, column } => {
+                write!(f, "column {column:?} has {actual} rows but the table has {expected}")
+            }
             TableError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
-            TableError::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            TableError::Csv { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
             TableError::Io(msg) => write!(f, "I/O error: {msg}"),
             TableError::Empty => write!(f, "table has no columns"),
         }

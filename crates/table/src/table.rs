@@ -85,7 +85,10 @@ impl Table {
     /// Overwrites the cell at (`row`, `col`).
     pub fn set(&mut self, row: usize, col: usize, value: Value) -> Result<()> {
         if col >= self.columns.len() {
-            return Err(TableError::ColumnIndexOutOfBounds { index: col, num_columns: self.columns.len() });
+            return Err(TableError::ColumnIndexOutOfBounds {
+                index: col,
+                num_columns: self.columns.len(),
+            });
         }
         if row >= self.num_rows {
             return Err(TableError::RowIndexOutOfBounds { index: row, num_rows: self.num_rows });

@@ -77,7 +77,8 @@ impl Value {
     /// everything else stays a string.
     pub fn parse_token(token: &str) -> Self {
         let t = token.trim();
-        if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("nan") || t == "?" {
+        if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("nan") || t == "?"
+        {
             return Value::Null;
         }
         if t.eq_ignore_ascii_case("true") {
@@ -114,9 +115,7 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             _ => false,
         }

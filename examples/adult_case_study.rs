@@ -41,7 +41,7 @@ fn main() {
     let model_view = clean.select(&["age", "workclass", "marital-status", "income"]).unwrap();
     let income = model_view.schema().index_of("income").expect("column");
     let model = NaiveBayes::fit(&model_view, income);
-    let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+    let guard = Guardrail::builder().fit(&clean).expect("schema is supported");
     println!("synthesized constraints:\n{}", guard.program());
 
     // The paper's hand-written reference constraint parses and agrees:

@@ -16,8 +16,13 @@ use guardrail::stats::metrics::confusion_from_indices;
 fn main() {
     // Dataset #9 (Telco Customer Churn shape), capped for a quick run.
     let dataset = paper_dataset(9, 4000);
-    println!("dataset #{} — {} ({} rows × {} attrs)", dataset.spec.id, dataset.spec.name,
-        dataset.clean.num_rows(), dataset.clean.num_columns());
+    println!(
+        "dataset #{} — {} ({} rows × {} attrs)",
+        dataset.spec.id,
+        dataset.spec.name,
+        dataset.clean.num_rows(),
+        dataset.clean.num_columns()
+    );
 
     // Discover on a clean split; detect on an error-injected split.
     let (discover, mut detect) = SplitSpec::new(0.5, 11).split(&dataset.clean);
@@ -37,7 +42,7 @@ fn main() {
     };
 
     // Guardrail.
-    let guard = Guardrail::fit(&discover, &GuardrailConfig::default());
+    let guard = Guardrail::builder().fit(&discover).expect("schema is supported");
     score("Guardrail", &guard.detect(&detect).dirty_rows());
 
     // TANE.

@@ -34,7 +34,7 @@ fn main() {
     let model = Ensemble::fit(&model_train, dysp_col);
     // …and Guardrail synthesizes integrity constraints from the full
     // hospital records (which do include the diagnosis).
-    let guard = Guardrail::fit(&train, &GuardrailConfig::default());
+    let guard = Guardrail::builder().fit(&train).expect("schema is supported");
     println!("synthesized constraints:\n{}", guard.program());
 
     // Noisy rows creep into the serving data: erroneous X-ray results
@@ -43,7 +43,11 @@ fn main() {
     let mut test_dirty = test_clean.clone();
     let report = inject_errors(
         &mut test_dirty,
-        &InjectConfig { count: Some(150), columns: Some(vec![xray_col]), ..InjectConfig::default() },
+        &InjectConfig {
+            count: Some(150),
+            columns: Some(vec![xray_col]),
+            ..InjectConfig::default()
+        },
     );
     println!("\ninjected {} erroneous X-ray results into the serving split", report.errors.len());
 
@@ -58,8 +62,7 @@ fn main() {
         catalog.add_table("hospital", data.clone());
         catalog.add_model("dysp_model", Arc::new(model.clone()));
         let exec = Executor::new(&catalog);
-        let exec =
-            if guarded { exec.with_guardrail(&guard, ErrorScheme::Rectify) } else { exec };
+        let exec = if guarded { exec.with_guardrail(&guard, ErrorScheme::Rectify) } else { exec };
         exec.run(sql).expect("query runs").table
     };
 

@@ -28,7 +28,14 @@ fn main() {
     println!("training on {} clean rows\n", clean.num_rows());
 
     // --- 2. Offline synthesis -----------------------------------------
-    let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+    // The builder exposes every fit-time knob; unset ones keep their
+    // defaults (unlimited budget, one worker per hardware thread).
+    let guard = Guardrail::builder()
+        .config(GuardrailConfig::default())
+        .budget(Budget::unlimited())
+        .parallelism(Parallelism::Auto)
+        .fit(&clean)
+        .expect("schema is supported");
     println!("synthesized program (coverage {:.2}):\n{}", guard.coverage(), guard.program());
     println!(
         "MEC contained {} DAG(s); statement cache hit rate {:.0}%\n",
@@ -49,7 +56,10 @@ fn main() {
     for v in &report.violations {
         println!(
             "  row {}: {} should be {:?} per the DGP, found {:?}",
-            v.row, v.attribute, v.expected.to_string(), v.actual.to_string()
+            v.row,
+            v.attribute,
+            v.expected.to_string(),
+            v.actual.to_string()
         );
     }
 

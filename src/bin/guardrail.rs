@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N]
-//!                  [--output constraints.gr]
+//!                  [--threads T] [--output constraints.gr]
 //! guardrail check <data.csv> --constraints <constraints.gr>
 //! guardrail repair <data.csv> --constraints <constraints.gr>
 //!                  [--scheme coerce|rectify] [--output fixed.csv]
@@ -42,18 +42,22 @@ const USAGE: &str = "\
 guardrail — integrity constraint synthesis from noisy data
 
 USAGE:
-  guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N] [--output constraints.gr]
+  guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N] [--threads T] [--output constraints.gr]
   guardrail check <data.csv> --constraints <constraints.gr>
   guardrail repair <data.csv> --constraints <constraints.gr> [--scheme coerce|rectify] [--output fixed.csv]
   guardrail structure <data.csv>
 
 `synth` is anytime: --budget-ms caps wall-clock time and --max-work caps work
 units; on exhaustion it emits the best program found so far and reports which
-pipeline stage was cut short.
+pipeline stage was cut short. --threads pins the worker count (default: one
+per hardware thread; results are identical either way).
 `check` exits 0 when the data is violation-free and 1 when violations were found.";
 
 /// Pulls `--flag value` out of an argument list; returns (positional, value).
-fn parse_flags(args: &[String], flags: &[&str]) -> Result<(Vec<String>, Vec<Option<String>>), String> {
+fn parse_flags(
+    args: &[String],
+    flags: &[&str],
+) -> Result<(Vec<String>, Vec<Option<String>>), String> {
     let mut positional = Vec::new();
     let mut values: Vec<Option<String>> = vec![None; flags.len()];
     let mut iter = args.iter().peekable();
@@ -80,7 +84,8 @@ fn load_constraints(path: &str) -> Result<Program, String> {
 }
 
 fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
-    let (pos, flags) = parse_flags(args, &["--epsilon", "--output", "--budget-ms", "--max-work"])?;
+    let (pos, flags) =
+        parse_flags(args, &["--epsilon", "--output", "--budget-ms", "--max-work", "--threads"])?;
     let [data_path] = pos.as_slice() else {
         return Err("synth needs exactly one CSV path".into());
     };
@@ -103,8 +108,12 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
         (None, Some(w)) => Budget::with_work_cap(w),
         (None, None) => Budget::unlimited(),
     };
-    let guard =
-        Guardrail::try_fit_governed(&table, &config, &budget).map_err(|e| e.to_string())?;
+    let mut builder = Guardrail::builder().config(config).budget(budget);
+    if let Some(t) = &flags[4] {
+        let threads: usize = t.parse().map_err(|_| "bad --threads")?;
+        builder = builder.parallelism(Parallelism::threads(threads));
+    }
+    let guard = builder.fit(&table).map_err(|e| e.to_string())?;
     let text = guard.program().to_string();
     eprintln!(
         "synthesized {} statement(s) / {} branch(es), coverage {:.3}, MEC size {}",

@@ -48,13 +48,13 @@ pub use guardrail_table as table;
 /// The most common imports in one place.
 pub mod prelude {
     pub use guardrail_core::{
-        ApplyReport, DetectionReport, ErrorScheme, Guardrail, GuardrailConfig, GuardrailError,
-        RowOutcome,
+        ApplyReport, DetectionReport, ErrorScheme, Guardrail, GuardrailBuilder, GuardrailConfig,
+        GuardrailError, RowOutcome,
     };
-    pub use guardrail_governor::{Budget, DegradationReport, StageStatus};
     pub use guardrail_dsl::{parse_program, CompiledProgram, Program, Violation};
+    pub use guardrail_governor::{Budget, DegradationReport, Parallelism, StageStatus};
     pub use guardrail_ml::{Classifier, DecisionTree, Ensemble, NaiveBayes};
     pub use guardrail_sqlexec::{Catalog, Executor};
     pub use guardrail_synth::SynthesisConfig;
-    pub use guardrail_table::{Row, Schema, SplitSpec, Table, Value};
+    pub use guardrail_table::{Row, Schema, SplitSpec, Table, TableBuilder, Value};
 }

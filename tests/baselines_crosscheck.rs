@@ -1,8 +1,8 @@
 //! Integration: baselines vs Guardrail on data with known constraints.
 
 use guardrail::baselines::{
-    ctane_discover, detect_fd_violations, fdx_discover, tane_discover, CtaneConfig, Fd,
-    FdxConfig, TaneConfig,
+    ctane_discover, detect_fd_violations, fdx_discover, tane_discover, CtaneConfig, Fd, FdxConfig,
+    TaneConfig,
 };
 use guardrail::datasets::{inject_errors, InjectConfig};
 use guardrail::prelude::*;
@@ -93,12 +93,7 @@ fn detection_comparison_on_injected_errors() {
     assert!(g.recall() > 0.7, "guardrail recall {}", g.recall());
     assert!(t.recall() > 0.5, "tane recall {}", t.recall());
     // …and Guardrail's F1 is at least competitive.
-    assert!(
-        g.f1() >= t.f1() - 0.05,
-        "guardrail F1 {} much worse than TANE {}",
-        g.f1(),
-        t.f1()
-    );
+    assert!(g.f1() >= t.f1() - 0.05, "guardrail F1 {} much worse than TANE {}", g.f1(), t.f1());
 }
 
 #[test]

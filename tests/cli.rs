@@ -34,24 +34,21 @@ fn synth_check_repair_roundtrip() {
     let constraints = dir.join("constraints.gr");
 
     // synth writes a parseable constraint file.
-    let out = run(&[
-        "synth",
-        clean.to_str().unwrap(),
-        "--output",
-        constraints.to_str().unwrap(),
-    ]);
+    let out = run(&["synth", clean.to_str().unwrap(), "--output", constraints.to_str().unwrap()]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = std::fs::read_to_string(&constraints).unwrap();
     assert!(text.contains("GIVEN"), "{text}");
 
     // check on clean data exits 0.
-    let out = run(&["check", clean.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
+    let out =
+        run(&["check", clean.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
     assert!(out.status.success());
 
     // check on dirty data exits 1 and reports the row.
     let dirty = dir.join("dirty.csv");
     std::fs::write(&dirty, "zip,city\n94704,gibbon\n97201,Portland\n").unwrap();
-    let out = run(&["check", dirty.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
+    let out =
+        run(&["check", dirty.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("row 0"), "{stdout}");
@@ -70,7 +67,8 @@ fn synth_check_repair_roundtrip() {
     let fixed_text = std::fs::read_to_string(&fixed).unwrap();
     assert!(fixed_text.contains("Berkeley"), "{fixed_text}");
     assert!(!fixed_text.contains("gibbon"));
-    let out = run(&["check", fixed.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
+    let out =
+        run(&["check", fixed.to_str().unwrap(), "--constraints", constraints.to_str().unwrap()]);
     assert!(out.status.success());
 }
 
@@ -138,7 +136,11 @@ fn synth_respects_epsilon_flag() {
     assert!(strict.status.success() && loose.status.success());
     let strict_out = String::from_utf8_lossy(&strict.stdout);
     let loose_out = String::from_utf8_lossy(&loose.stdout);
-    assert_eq!(strict_out.matches("IF").count(), 0, "strict ε must reject noisy branches:\n{strict_out}");
+    assert_eq!(
+        strict_out.matches("IF").count(),
+        0,
+        "strict ε must reject noisy branches:\n{strict_out}"
+    );
     assert!(loose_out.matches("IF").count() >= 2, "loose ε must keep them:\n{loose_out}");
 }
 
@@ -162,6 +164,9 @@ fn synth_budget_flags_degrade_gracefully() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("GIVEN"));
 
     // Malformed budget values are usage errors.
-    assert_eq!(run(&["synth", clean.to_str().unwrap(), "--budget-ms", "soon"]).status.code(), Some(2));
+    assert_eq!(
+        run(&["synth", clean.to_str().unwrap(), "--budget-ms", "soon"]).status.code(),
+        Some(2)
+    );
     assert_eq!(run(&["synth", clean.to_str().unwrap(), "--max-work", "-1"]).status.code(), Some(2));
 }

@@ -89,13 +89,9 @@ fn coverage_is_monotone_in_epsilon() {
     let dataset = paper_dataset(6, 748);
     let mut last = -1.0;
     for eps in [0.0, 0.01, 0.05, 0.2] {
-        let guard =
-            Guardrail::fit(&dataset.clean, &GuardrailConfig::default().with_epsilon(eps));
+        let guard = Guardrail::fit(&dataset.clean, &GuardrailConfig::default().with_epsilon(eps));
         let cov = if guard.coverage().is_nan() { 0.0 } else { guard.coverage() };
-        assert!(
-            cov >= last - 1e-9,
-            "coverage decreased from {last} to {cov} at eps {eps}"
-        );
+        assert!(cov >= last - 1e-9, "coverage decreased from {last} to {cov} at eps {eps}");
         last = cov;
     }
 }

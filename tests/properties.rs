@@ -267,8 +267,7 @@ fn fd_holds(table: &Table, lhs: &[usize], rhs: usize) -> bool {
     use std::collections::HashMap;
     let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
     for row in 0..table.num_rows() {
-        let key: Vec<u32> =
-            lhs.iter().map(|&c| table.column(c).unwrap().code(row)).collect();
+        let key: Vec<u32> = lhs.iter().map(|&c| table.column(c).unwrap().code(row)).collect();
         let val = table.column(rhs).unwrap().code(row);
         match seen.get(&key) {
             Some(&v) if v != val => return false,

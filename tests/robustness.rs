@@ -13,7 +13,6 @@
 use std::time::{Duration, Instant};
 
 use guardrail::core::GuardrailError;
-use guardrail::table::TableError;
 use guardrail::datasets::chaos;
 use guardrail::governor::Budget;
 use guardrail::pgm::{
@@ -21,6 +20,7 @@ use guardrail::pgm::{
 };
 use guardrail::prelude::*;
 use guardrail::synth::{synthesize_from_cpdag, synthesize_from_cpdag_governed};
+use guardrail::table::TableError;
 use proptest::prelude::*;
 
 /// Generous wall-clock ceiling for "returned promptly": orders of magnitude
@@ -75,12 +75,10 @@ fn deadline_on_dataset_scale_input_degrades_gracefully() {
     // thousands of DAG fills. 50ms cannot finish that.
     let table = chaos::entangled_table(16, 4000, 42);
     let start = Instant::now();
-    let guard = Guardrail::try_fit_governed(
-        &table,
-        &GuardrailConfig::default(),
-        &Budget::with_deadline(Duration::from_millis(50)),
-    )
-    .expect("schema is supported; exhaustion must not be an error");
+    let guard = Guardrail::builder()
+        .budget(Budget::with_deadline(Duration::from_millis(50)))
+        .fit(&table)
+        .expect("schema is supported; exhaustion must not be an error");
     assert!(start.elapsed() < PROMPT, "took {:?}", start.elapsed());
 
     assert!(!guard.degradation().is_complete(), "50ms cannot complete this input");
@@ -104,7 +102,9 @@ fn budget_ladder_always_returns_a_valid_program() {
     ];
     for budget in &budgets {
         let start = Instant::now();
-        let guard = Guardrail::try_fit_governed(&table, &GuardrailConfig::default(), budget)
+        let guard = Guardrail::builder()
+            .budget(budget.clone())
+            .fit(&table)
             .expect("exhaustion is not an error");
         assert!(start.elapsed() < PROMPT, "took {:?}", start.elapsed());
         guard.program().validate().expect("program must be well-formed at every budget");
@@ -118,8 +118,8 @@ fn cancellation_stops_synthesis() {
     let table = chaos::entangled_table(12, 1000, 5);
     let budget = Budget::unlimited();
     budget.cancellation_token().cancel();
-    let guard = Guardrail::try_fit_governed(&table, &GuardrailConfig::default(), &budget)
-        .expect("cancellation is not an error");
+    let guard =
+        Guardrail::builder().budget(budget).fit(&table).expect("cancellation is not an error");
     assert!(!guard.degradation().is_complete(), "pre-cancelled run must report degradation");
 }
 
@@ -134,7 +134,7 @@ fn slow_oracle_deadline_bounds_pc_wall_clock() {
     let start = Instant::now();
     let (pdag, status) = pc_algorithm_governed(
         &slow,
-        PcConfig { max_cond_size: 3 },
+        PcConfig { max_cond_size: 3, ..PcConfig::default() },
         &Budget::with_deadline(Duration::from_millis(50)),
     );
     assert!(start.elapsed() < PROMPT, "took {:?}", start.elapsed());
@@ -185,7 +185,7 @@ proptest! {
         let config = GuardrailConfig::default();
         let plain = Guardrail::fit(&table, &config);
         let governed =
-            Guardrail::try_fit_governed(&table, &config, &Budget::unlimited()).unwrap();
+            Guardrail::builder().config(config).budget(Budget::unlimited()).fit(&table).unwrap();
         prop_assert!(governed.degradation().is_complete());
         prop_assert_eq!(governed.program().to_string(), plain.program().to_string());
         prop_assert_eq!(governed.coverage(), plain.coverage());
@@ -219,12 +219,8 @@ proptest! {
     #[test]
     fn rectify_is_idempotent_under_degraded_programs(seed in 0u64..1000, cap in 0u64..500) {
         let table = structured_table(seed, 300);
-        let guard = Guardrail::try_fit_governed(
-            &table,
-            &GuardrailConfig::default(),
-            &Budget::with_work_cap(cap),
-        )
-        .unwrap();
+        let guard =
+            Guardrail::builder().budget(Budget::with_work_cap(cap)).fit(&table).unwrap();
         let (once, _) = guard.apply(&table, ErrorScheme::Rectify);
         let (twice, second) = guard.apply(&once, ErrorScheme::Rectify);
         prop_assert_eq!(second.cells_changed, 0, "second pass must be a fixpoint");

@@ -22,10 +22,36 @@ fn arb_ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("keyword", |s| {
         !matches!(
             s.to_ascii_uppercase().as_str(),
-            "SELECT" | "FROM" | "WHERE" | "GROUP" | "BY" | "HAVING" | "ORDER" | "LIMIT" | "AS"
-                | "AND" | "OR" | "NOT" | "IN" | "BETWEEN" | "CASE" | "WHEN" | "THEN" | "ELSE"
-                | "END" | "TRUE" | "FALSE" | "NULL" | "ASC" | "DESC" | "AVG" | "SUM" | "COUNT"
-                | "MIN" | "MAX" | "PREDICT"
+            "SELECT"
+                | "FROM"
+                | "WHERE"
+                | "GROUP"
+                | "BY"
+                | "HAVING"
+                | "ORDER"
+                | "LIMIT"
+                | "AS"
+                | "AND"
+                | "OR"
+                | "NOT"
+                | "IN"
+                | "BETWEEN"
+                | "CASE"
+                | "WHEN"
+                | "THEN"
+                | "ELSE"
+                | "END"
+                | "TRUE"
+                | "FALSE"
+                | "NULL"
+                | "ASC"
+                | "DESC"
+                | "AVG"
+                | "SUM"
+                | "COUNT"
+                | "MIN"
+                | "MAX"
+                | "PREDICT"
         )
     })
 }

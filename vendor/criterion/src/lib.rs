@@ -11,10 +11,15 @@
 //! iteration count, and its mean/min per-iteration time printed. That is
 //! enough to compare hot-path variants in this repository (e.g. governor
 //! overhead), which is all the workspace asks of it.
+//!
+//! Setting `CRITERION_JSON=<path>` additionally appends one JSON object per
+//! benchmark (name, mean/min per-iteration nanoseconds, sample count) to
+//! `<path>`, one per line, so CI runs can archive machine-readable timings.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -152,8 +157,8 @@ impl Bencher {
 
         // Measurement: fixed wall-clock budget split into batches.
         let batches = 10u64;
-        let total_iters =
-            ((self.measure_time.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(batches, 1 << 24);
+        let total_iters = ((self.measure_time.as_secs_f64() / per_iter.max(1e-12)) as u64)
+            .clamp(batches, 1 << 24);
         let per_batch = (total_iters / batches).max(1);
         for _ in 0..batches {
             let start = Instant::now();
@@ -175,18 +180,42 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
         println!("{name:<48} (no samples: Bencher::iter never called)");
         return;
     }
-    let per_iter: Vec<f64> = bencher
-        .samples
-        .iter()
-        .map(|(n, d)| d.as_secs_f64() / *n as f64)
-        .collect();
+    let per_iter: Vec<f64> =
+        bencher.samples.iter().map(|(n, d)| d.as_secs_f64() / *n as f64).collect();
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!(
-        "{name:<48} time: [mean {} min {}]",
-        format_time(mean),
-        format_time(min)
-    );
+    println!("{name:<48} time: [mean {} min {}]", format_time(mean), format_time(min));
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            let line = json_record(name, mean, min, bencher.samples.len());
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            if let Err(e) = written {
+                eprintln!("criterion: cannot append to CRITERION_JSON={path}: {e}");
+            }
+        }
+    }
+}
+
+/// One benchmark result as a single-line JSON object. Times are reported in
+/// nanoseconds per iteration to keep the values integral-friendly.
+fn json_record(name: &str, mean_secs: f64, min_secs: f64, samples: usize) -> String {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!(
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{samples}}}",
+        mean_secs * 1e9,
+        min_secs * 1e9
+    )
 }
 
 fn format_time(secs: f64) -> String {
@@ -237,5 +266,15 @@ mod tests {
         });
         group.finish();
         c.bench_function("top-level", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn json_record_is_valid_single_line_json() {
+        let line = json_record("group/bench \"q\"\\", 1234.5e-9, 1000.0e-9, 10);
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line,
+            "{\"name\":\"group/bench \\\"q\\\"\\\\\",\"mean_ns\":1234.5,\"min_ns\":1000.0,\"samples\":10}"
+        );
     }
 }

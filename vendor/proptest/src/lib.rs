@@ -572,8 +572,12 @@ pub fn seed_for_test(name: &str) -> u64 {
 
 /// Drives generation and case execution for one `proptest!` test.
 /// Not part of the public API surface users write against; the macros call it.
-pub fn run_cases<S, F>(test_name: &str, config: test_runner::ProptestConfig, strategy: S, mut body: F)
-where
+pub fn run_cases<S, F>(
+    test_name: &str,
+    config: test_runner::ProptestConfig,
+    strategy: S,
+    mut body: F,
+) where
     S: Strategy,
     S::Value: fmt::Debug,
     F: FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
@@ -749,19 +753,14 @@ mod tests {
         for _ in 0..200 {
             let s = Strategy::gen_value(&"[a-zA-Z0-9 _.-]{0,12}", &mut r).unwrap();
             assert!(s.len() <= 12);
-            assert!(s
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
         }
     }
 
     #[test]
     fn union_and_combinators() {
-        let strat = prop_oneof![
-            Just(0usize),
-            (1usize..10).prop_map(|v| v * 100),
-        ]
-        .prop_filter("nonzero-or-zero", |v| *v == 0 || *v >= 100);
+        let strat = prop_oneof![Just(0usize), (1usize..10).prop_map(|v| v * 100),]
+            .prop_filter("nonzero-or-zero", |v| *v == 0 || *v >= 100);
         let mut r = rng();
         let mut saw_zero = false;
         let mut saw_big = false;
@@ -780,9 +779,8 @@ mod tests {
         let mut r = rng();
         let base = vec![1, 2, 3, 4, 5, 6, 7];
         for _ in 0..100 {
-            let sub =
-                Strategy::gen_value(&super::sample::subsequence(base.clone(), 0..=7), &mut r)
-                    .unwrap();
+            let sub = Strategy::gen_value(&super::sample::subsequence(base.clone(), 0..=7), &mut r)
+                .unwrap();
             assert!(sub.windows(2).all(|w| w[0] < w[1]), "{sub:?}");
         }
     }
