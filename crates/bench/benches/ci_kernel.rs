@@ -1,0 +1,132 @@
+//! Criterion: fused sufficient-statistics kernel vs the legacy
+//! contingency-table path for CI tests.
+//!
+//! The legacy path (`ci_test_reference`) hashes a `u64` stratum key per row
+//! into a `HashMap` and allocates one `nx·ny` count vector per stratum; the
+//! fused kernel (`suffstats::ci_test_fused`) tabulates a single flat count
+//! tensor in one branch-free pass and reduces it with precomputed
+//! marginals, reusing per-thread scratch. Both must return **bit-identical**
+//! results — asserted here for every measured shape before any timing, so a
+//! "speedup" that changes an answer fails the bench.
+//!
+//! Shapes: marginal, level-1 (|Z| = 1) and level-2 (|Z| = 2) conditioning
+//! at 10k and 100k rows — the regime a PC skeleton level fans out.
+//!
+//! `CRITERION_JSON=<path>` archives the timings as JSON lines;
+//! `results/bench/ci_kernel.jsonl` holds the seeded reference run that
+//! `bench_diff` guards against regressions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use guardrail_stats::suffstats::{
+    ci_test_fused, ci_test_kernel, CiScratch, KernelPath, StratumPack,
+};
+use guardrail_stats::{ci_test_reference, CiTestKind};
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+const NX: usize = 3;
+const NY: usize = 4;
+const Z1_CARD: usize = 4;
+const Z2_CARD: usize = 5;
+
+/// One benchmark workload: x/y columns plus level-1 and level-2 packs.
+struct Workload {
+    label: &'static str,
+    x: Vec<u32>,
+    y: Vec<u32>,
+    level1: StratumPack,
+    level2: StratumPack,
+}
+
+fn workload(label: &'static str, rows: usize, seed: u64) -> Workload {
+    let mut rng = xorshift(seed);
+    let x: Vec<u32> = (0..rows).map(|_| (rng() % NX as u64) as u32).collect();
+    // Mild dependence so the statistic folds non-trivial cells.
+    let y: Vec<u32> = x
+        .iter()
+        .map(|&v| if rng() % 3 == 0 { (rng() % NY as u64) as u32 } else { v.min(NY as u32 - 1) })
+        .collect();
+    let z1: Vec<u32> = (0..rows).map(|_| (rng() % Z1_CARD as u64) as u32).collect();
+    let z2: Vec<u32> = (0..rows).map(|_| (rng() % Z2_CARD as u64) as u32).collect();
+    let level1 = StratumPack::pack(&[&z1], &[Z1_CARD]).unwrap();
+    let level2 = level1.extend(&z2, Z2_CARD).unwrap();
+    Workload { label, x, y, level1, level2 }
+}
+
+/// Every measured shape must agree bit-for-bit across legacy, dense, and
+/// sparse before it is worth timing.
+fn assert_paths_identical(w: &Workload) {
+    let mut scratch = CiScratch::new();
+    for kind in [CiTestKind::G2, CiTestKind::Pearson] {
+        for pack in [None, Some(&w.level1), Some(&w.level2)] {
+            let legacy = ci_test_reference(kind, &w.x, &w.y, pack.map(|p| p.keys()), NX, NY);
+            for path in [KernelPath::Dense, KernelPath::Sparse] {
+                let got = ci_test_kernel(
+                    kind,
+                    &w.x,
+                    &w.y,
+                    pack.map(|p| p.strata()),
+                    NX,
+                    NY,
+                    path,
+                    &mut scratch,
+                );
+                assert_eq!(got.statistic.to_bits(), legacy.statistic.to_bits(), "{path:?}");
+                assert_eq!(got.df.to_bits(), legacy.df.to_bits(), "{path:?}");
+                assert_eq!(got.p_value.to_bits(), legacy.p_value.to_bits(), "{path:?}");
+            }
+        }
+    }
+}
+
+fn bench_ci_kernel(c: &mut Criterion) {
+    let workloads = [workload("10k", 10_000, 42), workload("100k", 100_000, 43)];
+    for w in &workloads {
+        assert_paths_identical(w);
+    }
+
+    let mut group = c.benchmark_group("ci_kernel");
+    group.sample_size(20);
+    for w in &workloads {
+        let levels: [(&str, Option<&StratumPack>); 3] =
+            [("marginal", None), ("level1", Some(&w.level1)), ("level2", Some(&w.level2))];
+        for (level, pack) in levels {
+            group.bench_function(format!("legacy/{level}-{}", w.label), |b| {
+                b.iter(|| {
+                    ci_test_reference(
+                        CiTestKind::G2,
+                        black_box(&w.x),
+                        black_box(&w.y),
+                        pack.map(|p| p.keys()),
+                        NX,
+                        NY,
+                    )
+                })
+            });
+            group.bench_function(format!("fused/{level}-{}", w.label), |b| {
+                b.iter(|| {
+                    ci_test_fused(
+                        CiTestKind::G2,
+                        black_box(&w.x),
+                        black_box(&w.y),
+                        pack.map(|p| p.strata()),
+                        NX,
+                        NY,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ci_kernel);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Compares a fresh `CRITERION_JSON` run against the seeded references in
+//! `results/bench/*.jsonl` and fails (exit 1) on performance regressions.
+//!
+//! ```text
+//! bench_diff [--reference <dir>] [--factor <f>] <fresh.jsonl>...
+//! ```
+//!
+//! Every benchmark in the fresh files that also appears in a reference file
+//! is compared by `mean_ns`; a benchmark slower than `factor ×` its
+//! reference (default 2×, generous enough to absorb machine-to-machine
+//! noise while catching real regressions) is reported and fails the run.
+//! Benchmarks without a baseline are listed as new and pass.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Extracts the string value of `"<key>":"..."` from a JSON line.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts the numeric value of `"<key>":<number>` from a JSON line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Reads `name → mean_ns` from one JSON-lines file.
+fn load(path: &Path, into: &mut BTreeMap<String, f64>) -> std::io::Result<()> {
+    for line in std::fs::read_to_string(path)?.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match (json_str(line, "name"), json_num(line, "mean_ns")) {
+            (Some(name), Some(mean)) => {
+                into.insert(name.to_string(), mean);
+            }
+            _ => eprintln!("bench_diff: skipping malformed line in {}: {line}", path.display()),
+        }
+    }
+    Ok(())
+}
+
+fn reference_baselines(dir: &Path) -> std::io::Result<BTreeMap<String, f64>> {
+    let mut baselines = BTreeMap::new();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        load(&path, &mut baselines)?;
+    }
+    Ok(baselines)
+}
+
+fn main() -> ExitCode {
+    let mut reference = PathBuf::from("results/bench");
+    let mut factor = 2.0f64;
+    let mut fresh_paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reference" => match args.next() {
+                Some(dir) => reference = PathBuf::from(dir),
+                None => {
+                    eprintln!("bench_diff: --reference requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--factor" => match args.next().and_then(|f| f.parse().ok()) {
+                Some(f) if f > 1.0 => factor = f,
+                _ => {
+                    eprintln!("bench_diff: --factor requires a number > 1");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => fresh_paths.push(PathBuf::from(arg)),
+        }
+    }
+    if fresh_paths.is_empty() {
+        eprintln!("usage: bench_diff [--reference <dir>] [--factor <f>] <fresh.jsonl>...");
+        return ExitCode::FAILURE;
+    }
+
+    let baselines = match reference_baselines(&reference) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read reference dir {}: {e}", reference.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut fresh = BTreeMap::new();
+    for path in &fresh_paths {
+        if let Err(e) = load(path, &mut fresh) {
+            eprintln!("bench_diff: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut regressions = 0usize;
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}  status",
+        "benchmark", "ref mean_ns", "new mean_ns", "ratio"
+    );
+    for (name, &mean) in &fresh {
+        match baselines.get(name) {
+            Some(&base) if base > 0.0 => {
+                let ratio = mean / base;
+                let status = if ratio > factor {
+                    regressions += 1;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!("{name:<44} {base:>14.1} {mean:>14.1} {ratio:>7.2}x  {status}");
+            }
+            _ => println!("{name:<44} {:>14} {mean:>14.1} {:>8}  new (no baseline)", "-", "-"),
+        }
+    }
+    if regressions > 0 {
+        eprintln!("bench_diff: {regressions} benchmark(s) regressed more than {factor}x");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_diff: no regression beyond {factor}x across {} benchmark(s)", fresh.len());
+    ExitCode::SUCCESS
+}

@@ -111,6 +111,15 @@ impl NodeSet {
         }
     }
 
+    /// The largest node in the set, if any.
+    pub fn last_node(&self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(127 - self.0.leading_zeros() as usize)
+        }
+    }
+
     /// All subsets of this set with exactly `k` elements.
     ///
     /// Used by the PC algorithm to enumerate conditioning sets of growing
@@ -212,6 +221,9 @@ mod tests {
         assert_eq!(NodeSet::full(0), NodeSet::EMPTY);
         assert_eq!(NodeSet::from_iter([9, 4, 7]).first_node(), Some(4));
         assert_eq!(NodeSet::EMPTY.first_node(), None);
+        assert_eq!(NodeSet::from_iter([9, 4, 7]).last_node(), Some(9));
+        assert_eq!(NodeSet::singleton(127).last_node(), Some(127));
+        assert_eq!(NodeSet::EMPTY.last_node(), None);
     }
 
     #[test]

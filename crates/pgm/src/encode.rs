@@ -19,13 +19,24 @@ impl EncodedData {
         let mut cards = Vec::with_capacity(table.num_columns());
         for col in table.columns() {
             let base = col.distinct_count();
-            let has_null = col.codes().contains(&NULL_CODE);
-            let card = base + usize::from(has_null);
-            let codes =
-                col.codes().iter().map(|&c| if c == NULL_CODE { base as u32 } else { c }).collect();
+            // One pass per column: remap nulls to the extra code while
+            // detecting whether any occur (no separate `contains` scan).
+            let mut has_null = false;
+            let codes = col
+                .codes()
+                .iter()
+                .map(|&c| {
+                    if c == NULL_CODE {
+                        has_null = true;
+                        base as u32
+                    } else {
+                        c
+                    }
+                })
+                .collect();
             columns.push(codes);
             // A column of all nulls still needs cardinality ≥ 1.
-            cards.push(card.max(1));
+            cards.push((base + usize::from(has_null)).max(1));
         }
         let names = table.schema().names().iter().map(|s| s.to_string()).collect();
         Self { columns, cards, names }

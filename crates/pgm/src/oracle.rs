@@ -2,7 +2,8 @@
 
 use crate::encode::EncodedData;
 use guardrail_graph::{d_separated, Dag, NodeSet};
-use guardrail_stats::independence::{ci_test, pack_strata, CiTestKind};
+use guardrail_stats::independence::CiTestKind;
+use guardrail_stats::suffstats::{ci_test_fused, StratumPack};
 use guardrail_stats::CiTestResult;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,10 +32,15 @@ pub struct StatsCacheStats {
     pub result_hits: u64,
     /// CI-test results that had to be computed.
     pub result_misses: u64,
-    /// Stratum-key vectors reused across tests with the same conditioning set.
+    /// Stratum-key packs reused across tests with the same conditioning set.
     pub strata_hits: u64,
-    /// Stratum-key vectors packed fresh.
+    /// Stratum-key packs that were not in the cache (each miss is then
+    /// filled by an incremental extension or a full re-pack).
     pub strata_misses: u64,
+    /// Of those misses, packs derived incrementally from a cached
+    /// level-(ℓ−1) prefix (`key' = key·card + code`) instead of re-packing
+    /// every conditioning column.
+    pub pack_extensions: u64,
 }
 
 /// Concurrent memoization of the sufficient statistics behind CI tests.
@@ -48,8 +54,15 @@ pub struct StatsCacheStats {
 /// * **Test results** keyed by `(min(x,y), max(x,y), Z)`. The G²/X²
 ///   statistic and its degrees of freedom are invariant under transposing
 ///   the contingency table, so the symmetric key is sound.
-/// * **Stratum keys** keyed by `Z` (`None` records an unpackable — too
-///   high-cardinality — conditioning set).
+/// * **Stratum packs** ([`StratumPack`]: keys + mixed-radix domain) keyed
+///   by `Z` (`None` records an unpackable — too high-cardinality —
+///   conditioning set). A missing pack for a level-ℓ set `Z` is first
+///   sought as an **incremental extension** of the cached pack of
+///   `Z ∖ {max Z}` — `key' = key·card + code`, one O(n) pass over a single
+///   column instead of re-packing all ℓ columns — before falling back to a
+///   full pack. PC-stable grows conditioning sets one node per level, so in
+///   steady state nearly every new pack is an extension (counted by
+///   [`StatsCacheStats::pack_extensions`]).
 ///
 /// Both maps sit behind [`RwLock`]s so concurrent per-edge tests share the
 /// cache; racing threads may compute the same entry twice, but the value is
@@ -57,11 +70,12 @@ pub struct StatsCacheStats {
 #[derive(Debug, Default)]
 pub struct StatsCache {
     results: RwLock<HashMap<(usize, usize, NodeSet), CiTestResult>>,
-    strata: RwLock<HashMap<NodeSet, Option<Arc<Vec<u64>>>>>,
+    strata: RwLock<HashMap<NodeSet, Option<Arc<StratumPack>>>>,
     result_hits: AtomicU64,
     result_misses: AtomicU64,
     strata_hits: AtomicU64,
     strata_misses: AtomicU64,
+    pack_extensions: AtomicU64,
 }
 
 impl StatsCache {
@@ -77,6 +91,7 @@ impl StatsCache {
             result_misses: self.result_misses.load(Ordering::Relaxed),
             strata_hits: self.strata_hits.load(Ordering::Relaxed),
             strata_misses: self.strata_misses.load(Ordering::Relaxed),
+            pack_extensions: self.pack_extensions.load(Ordering::Relaxed),
         }
     }
 
@@ -95,17 +110,39 @@ impl StatsCache {
         value
     }
 
+    /// Looks up the stratum pack of `z`, filling a miss by extending the
+    /// cached pack of `prefix` (= `z ∖ {max z}`) when available, else by a
+    /// full pack. An unpackable prefix proves `z` unpackable too (the key
+    /// domain only grows), so that answer is also derived without packing.
     fn get_or_pack_strata(
         &self,
         z: NodeSet,
-        pack: impl FnOnce() -> Option<Vec<u64>>,
-    ) -> Option<Arc<Vec<u64>>> {
+        prefix: NodeSet,
+        extend: impl FnOnce(&StratumPack) -> Option<StratumPack>,
+        pack: impl FnOnce() -> Option<StratumPack>,
+    ) -> Option<Arc<StratumPack>> {
         if let Some(hit) = self.strata.read().unwrap_or_else(|e| e.into_inner()).get(&z) {
             self.strata_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
         self.strata_misses.fetch_add(1, Ordering::Relaxed);
-        let value = pack().map(Arc::new);
+        let prefix_pack = if prefix.is_empty() {
+            None
+        } else {
+            self.strata.read().unwrap_or_else(|e| e.into_inner()).get(&prefix).cloned()
+        };
+        let value = match prefix_pack {
+            Some(Some(p)) => {
+                self.pack_extensions.fetch_add(1, Ordering::Relaxed);
+                extend(&p)
+            }
+            Some(None) => {
+                self.pack_extensions.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => pack(),
+        }
+        .map(Arc::new);
         self.strata.write().unwrap_or_else(|e| e.into_inner()).entry(z).or_insert(value).clone()
     }
 }
@@ -204,27 +241,46 @@ impl<'a> DataOracle<'a> {
         // The statistic is symmetric in (x, y) — transposing a contingency
         // table changes neither G²/X² nor the df — so tests from both
         // adjacency sides share one cache entry under the ordered key.
+        //
+        // Tests run on the fused tabulation kernel: the reliability floor
+        // above guarantees `nx·ny·Π|Z| ≤ n/min_obs`, so every query that
+        // reaches the kernel takes its dense, allocation-free path.
         let (a, b) = (x.min(y), x.max(y));
         if z.is_empty() {
-            let run = || ci_test(self.kind, d.column(a), d.column(b), None, d.card(a), d.card(b));
+            let run =
+                || ci_test_fused(self.kind, d.column(a), d.column(b), None, d.card(a), d.card(b));
             return Some(match &self.cache {
                 Some(cache) => cache.get_or_compute_result((a, b, z), run),
                 None => run(),
             });
         }
 
-        let pack = || {
+        let full_pack = || {
             let z_cols: Vec<&[u32]> = z.iter().map(|i| d.column(i)).collect();
             let z_cards: Vec<usize> = z.iter().map(|i| d.card(i)).collect();
-            pack_strata(&z_cols, &z_cards)
+            StratumPack::pack(&z_cols, &z_cards)
         };
-        let keys = match &self.cache {
-            Some(cache) => cache.get_or_pack_strata(z, pack)?,
+        let pack = match &self.cache {
+            Some(cache) => {
+                let max = z.last_node().expect("z is non-empty");
+                let mut prefix = z;
+                prefix.remove(max);
+                let extend = |p: &StratumPack| p.extend(d.column(max), d.card(max));
+                cache.get_or_pack_strata(z, prefix, extend, full_pack)?
+            }
             // Conditioning space too large to even index: untestable.
-            None => Arc::new(pack()?),
+            None => Arc::new(full_pack()?),
         };
-        let run =
-            || ci_test(self.kind, d.column(a), d.column(b), Some(&keys), d.card(a), d.card(b));
+        let run = || {
+            ci_test_fused(
+                self.kind,
+                d.column(a),
+                d.column(b),
+                Some(pack.strata()),
+                d.card(a),
+                d.card(b),
+            )
+        };
         Some(match &self.cache {
             Some(cache) => cache.get_or_compute_result((a, b, z), run),
             None => run(),
@@ -454,6 +510,30 @@ mod tests {
         assert!(stats.result_hits > 0, "repeat + swapped queries must hit: {stats:?}");
         assert!(stats.strata_hits > 0, "shared conditioning sets must hit: {stats:?}");
         assert_eq!(uncached.cache_stats(), StatsCacheStats::default());
+    }
+
+    /// Level-ℓ conditioning sets extend the cached level-(ℓ−1) pack
+    /// (`key' = key·card + code`) instead of re-packing every column — and
+    /// the extended pack answers exactly like a fresh one.
+    #[test]
+    fn pack_extension_reuses_cached_prefix() {
+        let data = random_data(13, 4000);
+        let cached = DataOracle::new(&data);
+        let uncached = DataOracle::new(&data).with_cache(false);
+        let z1 = NodeSet::singleton(2);
+        let z2 = NodeSet::from_iter([2, 3]);
+        let z3 = NodeSet::from_iter([2, 3, 4]);
+        // Level 1: singleton pack {2} is a full pack (no cached prefix).
+        assert_eq!(cached.p_value(0, 1, z1), uncached.p_value(0, 1, z1));
+        assert_eq!(cached.cache_stats().pack_extensions, 0);
+        // Level 2: {2,3} = cached {2} extended by column 3.
+        assert_eq!(cached.p_value(0, 1, z2), uncached.p_value(0, 1, z2));
+        assert_eq!(cached.cache_stats().pack_extensions, 1);
+        // Level 3: {2,3,4} = cached {2,3} extended by column 4.
+        assert_eq!(cached.p_value(0, 1, z3), uncached.p_value(0, 1, z3));
+        let stats = cached.cache_stats();
+        assert_eq!(stats.pack_extensions, 2, "{stats:?}");
+        assert_eq!(stats.strata_misses, 3, "{stats:?}");
     }
 
     /// The cache key is symmetric: (x, y) and (y, x) share one entry.

@@ -30,7 +30,11 @@ pub struct PcConfig {
     /// Worker count for the per-level CI tests. Within a level every edge's
     /// subset search reads only the level-start adjacency snapshot
     /// (PC-stable), so edges are embarrassingly parallel and the merged
-    /// result is identical for any worker count.
+    /// result is identical for any worker count. Each worker's tests run on
+    /// the fused sufficient-statistics kernel
+    /// (`guardrail_stats::suffstats`), whose per-thread scratch buffers are
+    /// reused across the thousands of tests a level fans out — steady-state
+    /// testing allocates nothing.
     pub parallelism: Parallelism,
 }
 

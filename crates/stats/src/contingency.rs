@@ -6,27 +6,54 @@ use std::collections::HashMap;
 /// stratum of conditioning values.
 ///
 /// Built directly from dictionary-code slices, so constructing the table is a
-/// single pass with integer keys — the hot path of every conditional
-/// independence test in the PC algorithm.
+/// single pass with integer keys. Row/column marginals are accumulated during
+/// that same pass and stored, so the statistics below are O(nx·ny) rather
+/// than rescanning a marginal per cell.
+///
+/// This is the *reference* tabulation path; the hot path of the PC
+/// algorithm's CI tests is the fused kernel in [`crate::suffstats`], which
+/// must agree with this type bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct ContingencyTable {
     /// `counts[x * ny + y]`.
     counts: Vec<u64>,
+    /// `row_marg[x] = n[x][·]`, maintained alongside `counts`.
+    row_marg: Vec<u64>,
+    /// `col_marg[y] = n[·][y]`, maintained alongside `counts`.
+    col_marg: Vec<u64>,
     nx: usize,
     ny: usize,
     total: u64,
 }
 
 impl ContingencyTable {
+    fn empty(nx: usize, ny: usize) -> Self {
+        Self {
+            counts: vec![0; nx * ny],
+            row_marg: vec![0; nx],
+            col_marg: vec![0; ny],
+            nx,
+            ny,
+            total: 0,
+        }
+    }
+
+    fn add(&mut self, x: usize, y: usize) {
+        self.counts[x * self.ny + y] += 1;
+        self.row_marg[x] += 1;
+        self.col_marg[y] += 1;
+        self.total += 1;
+    }
+
     /// Counts joint occurrences of `(x[i], y[i])`. `nx`/`ny` are the code
     /// cardinalities (codes must be `< nx`/`< ny` respectively).
     pub fn from_codes(x: &[u32], y: &[u32], nx: usize, ny: usize) -> Self {
         assert_eq!(x.len(), y.len(), "code slices must be aligned");
-        let mut counts = vec![0u64; nx * ny];
+        let mut table = Self::empty(nx, ny);
         for (&a, &b) in x.iter().zip(y) {
-            counts[a as usize * ny + b as usize] += 1;
+            table.add(a as usize, b as usize);
         }
-        Self { counts, nx, ny, total: x.len() as u64 }
+        table
     }
 
     /// Builds one table per configuration of the conditioning codes `z`.
@@ -40,14 +67,8 @@ impl ContingencyTable {
         assert_eq!(x.len(), z.len());
         let mut strata: HashMap<u64, ContingencyTable> = HashMap::new();
         for i in 0..x.len() {
-            let table = strata.entry(z[i]).or_insert_with(|| ContingencyTable {
-                counts: vec![0; nx * ny],
-                nx,
-                ny,
-                total: 0,
-            });
-            table.counts[x[i] as usize * ny + y[i] as usize] += 1;
-            table.total += 1;
+            let table = strata.entry(z[i]).or_insert_with(|| ContingencyTable::empty(nx, ny));
+            table.add(x[i] as usize, y[i] as usize);
         }
         let mut out: Vec<(u64, ContingencyTable)> = strata.into_iter().collect();
         out.sort_by_key(|(k, _)| *k); // deterministic order
@@ -59,14 +80,14 @@ impl ContingencyTable {
         self.counts[x * self.ny + y]
     }
 
-    /// Row marginal `n[x][·]`.
+    /// Row marginal `n[x][·]` (precomputed at construction).
     pub fn row_marginal(&self, x: usize) -> u64 {
-        (0..self.ny).map(|y| self.count(x, y)).sum()
+        self.row_marg[x]
     }
 
-    /// Column marginal `n[·][y]`.
+    /// Column marginal `n[·][y]` (precomputed at construction).
     pub fn col_marginal(&self, y: usize) -> u64 {
-        (0..self.nx).map(|x| self.count(x, y)).sum()
+        self.col_marg[y]
     }
 
     /// Total observation count.

@@ -9,6 +9,7 @@
 
 use crate::chi2::ChiSquared;
 use crate::contingency::ContingencyTable;
+use crate::suffstats::{ci_test_fused, Strata};
 
 /// Which test statistic to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,7 +47,32 @@ impl CiTestResult {
 /// information at all (e.g. every stratum is a single observation), which the
 /// PC algorithm treats as "cannot reject independence" — the conservative
 /// choice for sparse conditioning sets.
+///
+/// Dispatches to the fused tabulation kernel in [`crate::suffstats`]
+/// (dense flat-tensor path when the stratum domain is small relative to the
+/// data, counting-sort group-by otherwise), which is bit-identical to the
+/// legacy contingency-table walk retained as [`ci_test_reference`]. Callers
+/// that already know the key domain (`Π |Z|`) should call
+/// [`crate::suffstats::ci_test_fused`] directly and skip the max-key scan.
 pub fn ci_test(
+    kind: CiTestKind,
+    x: &[u32],
+    y: &[u32],
+    z: Option<&[u64]>,
+    nx: usize,
+    ny: usize,
+) -> CiTestResult {
+    ci_test_fused(kind, x, y, z.map(Strata::infer), nx, ny)
+}
+
+/// The pre-kernel implementation of [`ci_test`]: materializes one
+/// [`ContingencyTable`] per observed stratum via a `HashMap` and folds the
+/// statistic table by table.
+///
+/// Kept as the differential-testing and benchmark reference — the fused
+/// kernels must reproduce its output bit-for-bit (`tests/ci_kernel.rs`, the
+/// `ci_kernel` bench equality gate). Not a hot path: prefer [`ci_test`].
+pub fn ci_test_reference(
     kind: CiTestKind,
     x: &[u32],
     y: &[u32],
@@ -93,19 +119,7 @@ pub fn pack_strata(columns: &[&[u32]], cards: &[usize]) -> Option<Vec<u64>> {
     if columns.is_empty() {
         return Some(Vec::new());
     }
-    let n = columns[0].len();
-    let mut radix_ok = 1u64;
-    for &c in cards {
-        radix_ok = radix_ok.checked_mul(c as u64)?;
-    }
-    let mut keys = vec![0u64; n];
-    for (col, &card) in columns.iter().zip(cards) {
-        assert_eq!(col.len(), n, "conditioning columns must be aligned");
-        for (k, &code) in keys.iter_mut().zip(col.iter()) {
-            *k = *k * card as u64 + code as u64;
-        }
-    }
-    Some(keys)
+    Some(crate::suffstats::StratumPack::pack(columns, cards)?.into_keys())
 }
 
 #[cfg(test)]

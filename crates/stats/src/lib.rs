@@ -8,6 +8,9 @@
 //! * [`contingency`] — contingency tables over dictionary codes.
 //! * [`independence`] — Pearson X² and G² (likelihood-ratio) conditional
 //!   independence tests: the oracle behind the PC algorithm (§4 of the paper).
+//! * [`suffstats`] — the fused, allocation-free sufficient-statistics kernel
+//!   the CI tests run on (dense flat-tensor tabulation with a counting-sort
+//!   sparse fallback, bit-identical to the contingency-table reference).
 //! * [`metrics`] — F1, MCC, precision/recall and normalization helpers used by
 //!   the evaluation harness (Tables 3, 5, 8; Fig. 6).
 //! * [`rank`] — Spearman rank correlation with a Student-t p-value (Table 1's
@@ -24,9 +27,11 @@ pub mod independence;
 pub mod metrics;
 pub mod rank;
 pub mod special;
+pub mod suffstats;
 
 pub use chi2::ChiSquared;
 pub use contingency::ContingencyTable;
-pub use independence::{ci_test, CiTestKind, CiTestResult};
+pub use independence::{ci_test, ci_test_reference, CiTestKind, CiTestResult};
 pub use metrics::BinaryConfusion;
 pub use rank::spearman;
+pub use suffstats::{CiScratch, KernelPath, Strata, StratumPack};

@@ -1,0 +1,98 @@
+//! Proves the steady-state allocation claim of the fused CI-test kernel:
+//! once a thread's scratch buffers are warm, further tests — dense
+//! tabulation, statistic folding, and the chi-squared p-value — touch the
+//! heap zero times.
+//!
+//! The whole test binary runs under a counting global allocator (its own
+//! integration-test binary, so no other tests pollute the counter); the
+//! single test warms the kernel on every shape it will measure, snapshots
+//! the allocation counter, and then requires thousands of further tests to
+//! leave it untouched.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use guardrail::stats::suffstats::{ci_test_fused, Strata, StratumPack};
+use guardrail::stats::CiTestKind;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+#[test]
+fn steady_state_ci_tests_do_not_allocate() {
+    let mut rng = xorshift(1234);
+    let n = 20_000;
+    let (nx, ny) = (3usize, 4usize);
+    let x: Vec<u32> = (0..n).map(|_| (rng() % nx as u64) as u32).collect();
+    let y: Vec<u32> = (0..n).map(|_| (rng() % ny as u64) as u32).collect();
+    let z1: Vec<u32> = (0..n).map(|_| (rng() % 4) as u32).collect();
+    let z2: Vec<u32> = (0..n).map(|_| (rng() % 5) as u32).collect();
+    let pack1 = StratumPack::pack(&[&z1], &[4]).unwrap();
+    let pack2 = pack1.extend(&z2, 5).unwrap();
+
+    let run_all = |salt: u32| {
+        // `salt` perturbs nothing statistically relevant; it only keeps the
+        // optimizer from hoisting the calls.
+        let strata1 = Strata { keys: pack1.keys(), domain: pack1.domain() };
+        let strata2 = Strata { keys: pack2.keys(), domain: pack2.domain() };
+        let mut acc = 0.0;
+        for kind in [CiTestKind::G2, CiTestKind::Pearson] {
+            acc += ci_test_fused(kind, &x, &y, None, nx, ny).statistic;
+            acc += ci_test_fused(kind, &x, &y, Some(strata1), nx, ny).statistic;
+            acc += ci_test_fused(kind, &x, &y, Some(strata2), nx, ny).statistic;
+        }
+        std::hint::black_box(acc + salt as f64);
+    };
+
+    // Warm the thread-local scratch on every shape measured below.
+    for salt in 0..3 {
+        run_all(salt);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for salt in 0..500 {
+        run_all(salt);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warmed dense-path CI tests must not touch the heap ({} allocations over 3000 tests)",
+        after - before
+    );
+}

@@ -1,0 +1,239 @@
+//! Differential suite for the fused sufficient-statistics kernel.
+//!
+//! Three implementations answer every CI test: the dense flat-tensor
+//! kernel, the counting-sort sparse fallback, and the pre-rewrite
+//! `HashMap`-of-contingency-tables reference. They are required to agree
+//! **bit for bit** — statistic, degrees of freedom, and p-value — over
+//! randomized tables spanning the awkward shapes: mixed cardinalities,
+//! null-as-extra-category codes, empty strata (sparse key spaces), and
+//! degenerate card-1 columns. A second group checks the oracle-level
+//! plumbing: incremental stratum-pack extension answers exactly like full
+//! re-packs, with the new hit counters ticking.
+
+use guardrail::graph::NodeSet;
+use guardrail::pgm::{DataOracle, EncodedData, IndependenceOracle};
+use guardrail::stats::suffstats::{ci_test_kernel, CiScratch, KernelPath, Strata, StratumPack};
+use guardrail::stats::{ci_test, ci_test_reference, CiTestKind, CiTestResult};
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// Asserts exact (bit-level) equality of two test results.
+fn assert_bits_eq(got: CiTestResult, want: CiTestResult, ctx: &str) {
+    assert_eq!(got.statistic.to_bits(), want.statistic.to_bits(), "statistic differs: {ctx}");
+    assert_eq!(got.df.to_bits(), want.df.to_bits(), "df differs: {ctx}");
+    assert_eq!(got.p_value.to_bits(), want.p_value.to_bits(), "p-value differs: {ctx}");
+}
+
+/// Runs one configuration through all three paths and checks bit equality.
+/// `strata` may deliberately use a domain far larger than the observed keys
+/// (empty strata) — both kernels must still match the reference.
+#[allow(clippy::too_many_arguments)]
+fn check_all_paths(
+    kind: CiTestKind,
+    x: &[u32],
+    y: &[u32],
+    strata: Option<Strata<'_>>,
+    nx: usize,
+    ny: usize,
+    scratch: &mut CiScratch,
+    ctx: &str,
+) {
+    let reference = ci_test_reference(kind, x, y, strata.map(|s| s.keys), nx, ny);
+    for path in [KernelPath::Dense, KernelPath::Sparse] {
+        let got = ci_test_kernel(kind, x, y, strata, nx, ny, path, scratch);
+        assert_bits_eq(got, reference, &format!("{ctx} kind={kind:?} path={path:?}"));
+    }
+    // The public dispatcher (thread-local scratch, automatic path choice).
+    let got = ci_test(kind, x, y, strata.map(|s| s.keys), nx, ny);
+    assert_bits_eq(got, reference, &format!("{ctx} kind={kind:?} path=auto"));
+}
+
+#[test]
+fn randomized_tables_match_reference_exactly() {
+    let mut rng = xorshift(2024);
+    let mut scratch = CiScratch::new();
+    // Cardinalities include 1 (degenerate/constant columns, e.g. all-null)
+    // and small primes; the last configuration makes X a near-copy of Y so
+    // dependent tables are exercised too.
+    for trial in 0..60 {
+        let n = 40 + (rng() % 2000) as usize;
+        let nx = 1 + (rng() % 5) as usize;
+        let ny = 1 + (rng() % 5) as usize;
+        let zc = 1 + (rng() % 6) as usize;
+        let dependent = trial % 3 == 0;
+        let x: Vec<u32> = (0..n).map(|_| (rng() % nx as u64) as u32).collect();
+        let y: Vec<u32> =
+            if dependent {
+                x.iter()
+                    .map(|&v| {
+                        if rng() % 4 == 0 {
+                            (rng() % ny as u64) as u32
+                        } else {
+                            v.min(ny as u32 - 1)
+                        }
+                    })
+                    .collect()
+            } else {
+                (0..n).map(|_| (rng() % ny as u64) as u32).collect()
+            };
+        let z: Vec<u32> = (0..n).map(|_| (rng() % zc as u64) as u32).collect();
+        let pack = StratumPack::pack(&[&z], &[zc]).unwrap();
+        let ctx = format!("trial={trial} n={n} nx={nx} ny={ny} zc={zc}");
+        for kind in [CiTestKind::G2, CiTestKind::Pearson] {
+            check_all_paths(kind, &x, &y, None, nx, ny, &mut scratch, &ctx);
+            check_all_paths(kind, &x, &y, Some(pack.strata()), nx, ny, &mut scratch, &ctx);
+        }
+    }
+}
+
+#[test]
+fn empty_strata_and_sparse_key_spaces_match() {
+    let mut rng = xorshift(77);
+    let mut scratch = CiScratch::new();
+    let n = 600;
+    let (nx, ny) = (3usize, 3usize);
+    let x: Vec<u32> = (0..n).map(|_| (rng() % nx as u64) as u32).collect();
+    let y: Vec<u32> = (0..n).map(|_| (rng() % ny as u64) as u32).collect();
+    // Keys drawn from a tiny subset of a huge domain: most strata empty.
+    // The dense path (when forced) must skip the empty blocks identically
+    // to the reference, which never materializes them.
+    let sparse_keys: Vec<u64> = (0..n).map(|_| [0u64, 7, 8, 4999][(rng() % 4) as usize]).collect();
+    for domain in [5000u64, 10_000] {
+        let strata = Strata { keys: &sparse_keys, domain };
+        let ctx = format!("sparse keys, domain={domain}");
+        for kind in [CiTestKind::G2, CiTestKind::Pearson] {
+            check_all_paths(kind, &x, &y, Some(strata), nx, ny, &mut scratch, &ctx);
+        }
+    }
+    // Singleton strata (every row its own stratum): zero information, all
+    // paths must return the conservative df = 0 / p = 1.
+    let singleton_keys: Vec<u64> = (0..n as u64).collect();
+    let strata = Strata { keys: &singleton_keys, domain: n as u64 };
+    for kind in [CiTestKind::G2, CiTestKind::Pearson] {
+        check_all_paths(kind, &x, &y, Some(strata), nx, ny, &mut scratch, "singleton strata");
+        let r = ci_test(kind, &x, &y, Some(&singleton_keys), nx, ny);
+        assert_eq!(r.df, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+}
+
+#[test]
+fn null_coded_tables_match() {
+    // Columns with nulls are encoded as an extra trailing category; make
+    // that category rare so some strata never see it (structural zeros).
+    let mut rng = xorshift(31);
+    let mut scratch = CiScratch::new();
+    let n = 1500;
+    let (nx, ny, zc) = (3usize, 4usize, 3usize); // last code of each = "null"
+    let x: Vec<u32> = (0..n)
+        .map(|_| if rng() % 50 == 0 { nx as u32 - 1 } else { (rng() % (nx as u64 - 1)) as u32 })
+        .collect();
+    let y: Vec<u32> = (0..n)
+        .map(|_| if rng() % 50 == 0 { ny as u32 - 1 } else { (rng() % (ny as u64 - 1)) as u32 })
+        .collect();
+    let z: Vec<u32> = (0..n)
+        .map(|_| if rng() % 50 == 0 { zc as u32 - 1 } else { (rng() % (zc as u64 - 1)) as u32 })
+        .collect();
+    let pack = StratumPack::pack(&[&z], &[zc]).unwrap();
+    for kind in [CiTestKind::G2, CiTestKind::Pearson] {
+        check_all_paths(kind, &x, &y, Some(pack.strata()), nx, ny, &mut scratch, "null-coded");
+    }
+}
+
+#[test]
+fn multi_column_conditioning_matches() {
+    let mut rng = xorshift(404);
+    let mut scratch = CiScratch::new();
+    let n = 2500;
+    let cards = [3usize, 2, 4];
+    let cols: Vec<Vec<u32>> =
+        cards.iter().map(|&c| (0..n).map(|_| (rng() % c as u64) as u32).collect()).collect();
+    let refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+    let x: Vec<u32> = (0..n).map(|_| (rng() % 3) as u32).collect();
+    let y: Vec<u32> = (0..n).map(|_| (rng() % 3) as u32).collect();
+    for k in 1..=cards.len() {
+        let pack = StratumPack::pack(&refs[..k], &cards[..k]).unwrap();
+        // The incrementally extended pack must be the full pack, bit for bit.
+        if k > 1 {
+            let extended = StratumPack::pack(&refs[..k - 1], &cards[..k - 1])
+                .unwrap()
+                .extend(refs[k - 1], cards[k - 1])
+                .unwrap();
+            assert_eq!(extended, pack, "extension differs from full pack at k={k}");
+        }
+        for kind in [CiTestKind::G2, CiTestKind::Pearson] {
+            check_all_paths(
+                kind,
+                &x,
+                &y,
+                Some(pack.strata()),
+                3,
+                3,
+                &mut scratch,
+                &format!("k={k}"),
+            );
+        }
+    }
+}
+
+/// Oracle-level: with the cache's incremental pack extension in play, every
+/// query still answers exactly like the uncached oracle, and the extension
+/// counter records the level-to-level reuse.
+#[test]
+fn oracle_pack_extension_is_transparent() {
+    let mut rng = xorshift(9001);
+    let n = 5000;
+    let cards = [2usize, 3, 2, 4, 2];
+    let cols: Vec<Vec<u32>> =
+        cards.iter().map(|&c| (0..n).map(|_| (rng() % c as u64) as u32).collect()).collect();
+    let data = EncodedData::from_parts(
+        cols,
+        cards.to_vec(),
+        (0..cards.len()).map(|i| format!("a{i}")).collect(),
+    );
+    let cached = DataOracle::new(&data);
+    let uncached = DataOracle::new(&data).with_cache(false);
+    let m = data.num_attrs();
+    // Mimic PC's level structure: all singletons first, then pairs, then
+    // triples, so larger sets always find their prefix cached.
+    let mut zs: Vec<NodeSet> = (0..m).map(NodeSet::singleton).collect();
+    for a in 0..m {
+        for b in (a + 1)..m {
+            zs.push(NodeSet::from_iter([a, b]));
+        }
+    }
+    for a in 0..m {
+        for b in (a + 1)..m {
+            for c in (b + 1)..m {
+                zs.push(NodeSet::from_iter([a, b, c]));
+            }
+        }
+    }
+    for z in zs {
+        for x in 0..m {
+            for y in (x + 1)..m {
+                if z.contains(x) || z.contains(y) {
+                    continue;
+                }
+                assert_eq!(
+                    cached.p_value(x, y, z),
+                    uncached.p_value(x, y, z),
+                    "x={x} y={y} z={z:?}"
+                );
+                assert_eq!(cached.independent(x, y, z), uncached.independent(x, y, z));
+            }
+        }
+    }
+    let stats = cached.cache_stats();
+    assert!(stats.pack_extensions > 0, "multi-level queries must extend cached packs: {stats:?}");
+    assert!(stats.strata_hits > 0, "{stats:?}");
+    assert_eq!(uncached.cache_stats().pack_extensions, 0);
+}
