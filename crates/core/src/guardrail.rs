@@ -3,7 +3,7 @@
 use crate::error::GuardrailError;
 use crate::report::{ApplyReport, DetectionReport};
 use crate::scheme::{ErrorScheme, RowOutcome};
-use guardrail_dsl::{CompiledProgram, Program};
+use guardrail_dsl::{CompiledProgram, Program, Violation};
 use guardrail_governor::{Budget, DegradationReport, Parallelism};
 use guardrail_synth::{synthesize_governed, SynthesisConfig, SynthesisOutcome};
 use guardrail_table::{Row, Table, Value};
@@ -11,6 +11,19 @@ use guardrail_table::{Row, Table, Value};
 /// Synthesis configuration for [`Guardrail::fit`] (re-exported alias of the
 /// synthesis crate's config so downstream users need only this crate).
 pub type GuardrailConfig = SynthesisConfig;
+
+/// Outcome of the batched query-time vetting hook
+/// ([`Guardrail::vet_rows`]): the gathered rows after the error scheme was
+/// applied, plus every violation found.
+#[derive(Debug, Clone)]
+pub struct BatchVet {
+    /// The vetted rows, in input order, processed under the requested
+    /// [`ErrorScheme`] (untouched for `Raise`/`Ignore`).
+    pub table: Table,
+    /// All violations, ordered by row (indices into `table`, i.e. positions
+    /// in the caller's row list), then statement, then branch.
+    pub violations: Vec<Violation>,
+}
 
 /// A rectification ambiguity: several matching branches disagree about the
 /// value one attribute should take on one row.
@@ -241,6 +254,47 @@ impl Guardrail {
                 RowOutcome::Rectified(fixed, violations)
             }
         }
+    }
+
+    /// Vets a batch of rows in one vectorized pass — the query-time
+    /// guardrail hook of Fig. 1 for callers that hold a whole scan's worth
+    /// of rows (used by `guardrail-sqlexec` before `PREDICT`): gathers
+    /// `rows` from `table`, runs the compiled program's decision-table scan
+    /// over the sub-table, and applies `scheme` table-wide. Equivalent to
+    /// calling [`handle_row`](Guardrail::handle_row) on each row, without
+    /// materializing a [`Row`] or re-resolving attribute names per row.
+    ///
+    /// `Raise` does not abort here (a library cannot meaningfully panic on
+    /// data errors): the report's violations are ordered by row, so callers
+    /// abort on `violations.first()` exactly as the per-row hook would have
+    /// on the first dirty row.
+    ///
+    /// Returns `None` when the program references attributes `table`
+    /// lacks — compilation is all-or-nothing while the value-level hook
+    /// degrades per statement, so that regime must keep the per-row path.
+    pub fn vet_rows(&self, table: &Table, rows: &[usize], scheme: ErrorScheme) -> Option<BatchVet> {
+        let mut sub = table.take(rows);
+        let Some(compiled) = self.compile(&sub) else {
+            // An empty program vets trivially; a program that does not bind
+            // to this schema does not.
+            return self
+                .outcome
+                .program
+                .statements
+                .is_empty()
+                .then(|| BatchVet { table: sub, violations: Vec::new() });
+        };
+        let violations = compiled.check_table_parallel(&sub, self.parallelism);
+        match scheme {
+            ErrorScheme::Raise | ErrorScheme::Ignore => {}
+            ErrorScheme::Coerce => {
+                compiled.coerce_table_parallel(&mut sub, self.parallelism);
+            }
+            ErrorScheme::Rectify => {
+                compiled.rectify_table_parallel(&mut sub, self.parallelism);
+            }
+        }
+        Some(BatchVet { table: sub, violations })
     }
 
     /// Finds rows where rectification would be ambiguous: two or more

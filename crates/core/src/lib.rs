@@ -41,7 +41,7 @@ pub mod report;
 pub mod scheme;
 
 pub use error::GuardrailError;
-pub use guardrail::{Guardrail, GuardrailBuilder, GuardrailConfig, RectifyConflict};
+pub use guardrail::{BatchVet, Guardrail, GuardrailBuilder, GuardrailConfig, RectifyConflict};
 pub use numeric::{NumericGuard, NumericGuardConfig, NumericViolation};
 pub use report::{ApplyReport, DetectionReport};
 pub use scheme::{ErrorScheme, RowOutcome};

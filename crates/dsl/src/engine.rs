@@ -1,0 +1,527 @@
+//! Vectorized decision-table engine: the detection/repair serving path.
+//!
+//! The legacy interpreter walks `O(rows × branches × conjuncts)` with a
+//! `table.column(col)` resolution in the innermost loop; on synthesized
+//! programs the branch count equals the observed determinant-group count,
+//! so large tables pay `O(rows × groups)`. This module compiles each
+//! statement into a **decision table** once, at
+//! [`CompiledProgram`](crate::CompiledProgram) build time, after which
+//! every bulk scan is one branch-free column-at-a-time pass per statement:
+//!
+//! 1. **Key packing** — the statement's distinct determinant columns are
+//!    folded into one mixed-radix `u64` key per row with
+//!    [`guardrail_stats::suffstats::fold_mixed_radix`], the same primitive
+//!    (and fold order) as the CI-test kernel's
+//!    [`StratumPack`](guardrail_stats::suffstats::StratumPack). Each
+//!    column's radix is `|dictionary| + 2`: one digit per compile-time
+//!    code, one for `NULL`, and one *alien* digit absorbing codes minted
+//!    after compilation (rectify writes, cross-table binding) — aliens
+//!    equal no compile-time conjunct code, so they match no branch,
+//!    exactly like the legacy integer compare.
+//! 2. **Lookup** — the key indexes a dense `Vec<u64>` of entries (or a
+//!    `HashMap` when the key domain outgrows the dense budget of
+//!    [`choose_path`]); each entry packs `(outcome id << 32) | clean
+//!    code`. A row is clean iff its dependent code equals the entry's low
+//!    half, so the hot loop is one lookup and one compare per row, with
+//!    uncovered keys rejected by the same compare (their clean half is a
+//!    sentinel no real code equals).
+//! 3. **Outcomes** — the rare slow path. An outcome records *which*
+//!    branches cover a key (usually one; duplicated conditions merge into
+//!    shared multi-branch outcomes), letting violation emission and the
+//!    rectify cascade reproduce the legacy per-branch semantics bit for
+//!    bit.
+//!
+//! Statements whose key domain overflows `u64`, or whose branches cover
+//! more than [`ENUM_CAP`] keys (wildcard conjuncts over huge
+//! dictionaries), keep a `Legacy` representation and fall back to the
+//! hoisted-slice row scan — correctness never depends on the table being
+//! buildable.
+
+use crate::interp::CompiledStatement;
+use guardrail_stats::suffstats::{choose_path, fold_mixed_radix, KernelPath};
+use guardrail_table::{Code, Table, NULL_CODE};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Outcome-id sentinel: the key is covered by no branch.
+const NO_MATCH: u32 = u32::MAX;
+
+/// Clean-code sentinel that equals no dictionary code (codes are
+/// `< NULL_CODE`, and `NULL_CODE` itself maps to its own digit), so
+/// entries carrying it always take the slow path / never compare clean.
+const NEVER_CODE: u32 = u32::MAX - 1;
+
+/// Upper bound on covered-key enumeration work per statement. Branch
+/// conditions pin their determinant columns, so a branch usually covers
+/// `Π radices(unconstrained columns) = 1` key; the cap only trips when
+/// branches leave high-cardinality determinants free.
+const ENUM_CAP: u128 = 1 << 20;
+
+/// A violation in pure index form, as emitted by the vectorized scan.
+///
+/// No name is interned and no [`guardrail_table::Value`] is decoded per
+/// violation — [`CompiledProgram::check_table`](crate::CompiledProgram::check_table)
+/// upgrades raw violations to [`Violation`] only at the API boundary, and
+/// allocation-sensitive callers can stay raw via
+/// [`check_table_raw_into`](crate::CompiledProgram::check_table_raw_into).
+///
+/// The derived ordering — row, then statement, then branch — is exactly
+/// the legacy interpreter's emission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RawViolation {
+    /// Row index in the scanned table.
+    pub row: usize,
+    /// Statement index within the program.
+    pub statement: u32,
+    /// Branch index within the statement.
+    pub branch: u32,
+}
+
+/// Reusable scratch for the vectorized scans.
+///
+/// Buffers grow to the high-water mark of the chunks they serve and never
+/// shrink, so a warmed scratch makes further detect passes over dense- or
+/// hash-represented statements allocation-free (pinned by
+/// `tests/alloc_free.rs`, extending the PR 3 counting-allocator
+/// discipline).
+#[derive(Debug, Default)]
+pub struct DetectScratch {
+    /// Packed determinant keys for the chunk being scanned.
+    pub(crate) keys: Vec<u64>,
+    /// Raw-violation staging area for paths that convert per chunk.
+    pub(crate) raw: Vec<RawViolation>,
+}
+
+/// The set of branches covering one determinant key.
+///
+/// Most keys are covered by exactly one branch; branches with duplicated
+/// conditions merge into shared multi-branch outcomes (branch ids
+/// ascending, preserving legacy emission and cascade order).
+#[derive(Debug, Clone)]
+struct Outcome {
+    /// Covering branch indices, ascending.
+    branches: Vec<u32>,
+    /// Dependent code that satisfies *every* covering branch, or
+    /// [`NEVER_CODE`] when none exists (branches disagree, or a literal is
+    /// not interned in the bound table).
+    clean: u32,
+}
+
+/// Per-outcome rectify summary. The legacy cascade at a covered key —
+/// `cur := original; for each covering branch: if cur ≠ code { cur :=
+/// code; changed += 1 }` — always leaves `cur` equal to the branch's code
+/// after each step, so it collapses to: `changed += base + (original ≠
+/// first)`, final value `last`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RectEntry {
+    /// First covering branch's (freshly interned) literal code.
+    first: Code,
+    /// Last covering branch's literal code — the value written.
+    last: Code,
+    /// Disagreements between consecutive covering branches' codes.
+    base: usize,
+}
+
+/// How a statement's decision table is stored.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Flat entry per key; the key domain fits the
+    /// [`choose_path`] dense budget.
+    Dense(Vec<u64>),
+    /// Covered keys only; domain too large for a flat table but the
+    /// covered set enumerates under [`ENUM_CAP`].
+    Hash(HashMap<u64, u64>),
+    /// No table: key domain overflows `u64` or covered-key enumeration is
+    /// too large. Scans fall back to the hoisted-slice row walk.
+    Legacy,
+}
+
+/// One statement's compiled decision table.
+#[derive(Debug, Clone)]
+pub(crate) struct StatementEngine {
+    /// Distinct determinant columns, in first-use order across branches.
+    det_cols: Vec<usize>,
+    /// Compile-time dictionary size of each determinant column.
+    cards: Vec<u32>,
+    /// Per-column radix: `card + 2` (NULL digit + alien digit).
+    radices: Vec<u64>,
+    /// Key→entry mapping; entries pack `(outcome id << 32) | clean code`.
+    repr: Repr,
+    /// Outcome table; ids `0..branches.len()` are the per-branch singleton
+    /// outcomes, higher ids are merged multi-branch outcomes.
+    outcomes: Vec<Outcome>,
+}
+
+/// Packs `(outcome id, clean code)` into one table entry.
+#[inline]
+fn entry(oid: u32, clean: u32) -> u64 {
+    (u64::from(oid) << 32) | u64::from(clean)
+}
+
+/// Maps a runtime code to its mixed-radix digit: `NULL` and alien codes
+/// (minted after compilation) get the two reserved digits past the
+/// compile-time dictionary.
+#[inline]
+fn digit_of(code: u32, card: u32) -> u64 {
+    if code == NULL_CODE {
+        u64::from(card)
+    } else if code >= card {
+        u64::from(card) + 1
+    } else {
+        u64::from(code)
+    }
+}
+
+impl StatementEngine {
+    /// Builds the decision table for `stmt` against the dictionaries of
+    /// `table`. Never fails: shapes the table cannot represent keep the
+    /// `Legacy` representation.
+    pub(crate) fn build(stmt: &CompiledStatement, table: &Table) -> Self {
+        let branches = stmt.branches();
+        let mut det_cols: Vec<usize> = Vec::new();
+        for b in branches {
+            for &(col, _) in b.conjuncts() {
+                if !det_cols.contains(&col) {
+                    det_cols.push(col);
+                }
+            }
+        }
+        let cards: Vec<u32> = det_cols
+            .iter()
+            .map(|&c| table.column(c).expect("bound column").dictionary().len() as u32)
+            .collect();
+        let radices: Vec<u64> = cards.iter().map(|&c| u64::from(c) + 2).collect();
+        let mut outcomes: Vec<Outcome> = branches
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| Outcome {
+                branches: vec![bi as u32],
+                clean: b.literal_code.unwrap_or(NEVER_CODE),
+            })
+            .collect();
+        let legacy = Self {
+            det_cols: det_cols.clone(),
+            cards: cards.clone(),
+            radices: radices.clone(),
+            repr: Repr::Legacy,
+            outcomes: outcomes.clone(),
+        };
+        if det_cols.is_empty() {
+            return legacy;
+        }
+        // A dictionary would need u32::MAX entries to mint NEVER_CODE as a
+        // real code; unreachable, but cheap to refuse outright.
+        if branches.iter().any(|b| b.literal_code == Some(NEVER_CODE)) {
+            return legacy;
+        }
+        let Some(domain) = radices.iter().try_fold(1u64, |d, &r| d.checked_mul(r)) else {
+            return legacy;
+        };
+
+        // Per-branch constraint digits over det_cols: Some(d) pins the
+        // column, None leaves it free (the branch covers every digit,
+        // including NULL and alien). A branch with an un-interned conjunct
+        // literal, or one pinning a column to two different codes, matches
+        // no row and covers no keys.
+        let mut branch_digits: Vec<Option<Vec<Option<u64>>>> = Vec::with_capacity(branches.len());
+        let mut covered: u128 = 0;
+        for b in branches {
+            let mut digits: Vec<Option<u64>> = vec![None; det_cols.len()];
+            let mut satisfiable = true;
+            for &(col, code) in b.conjuncts() {
+                let ci = det_cols.iter().position(|&c| c == col).expect("registered column");
+                match code {
+                    None => {
+                        satisfiable = false;
+                        break;
+                    }
+                    Some(c) => {
+                        let d = digit_of(c, cards[ci]);
+                        if digits[ci].is_some_and(|prev| prev != d) {
+                            satisfiable = false;
+                            break;
+                        }
+                        digits[ci] = Some(d);
+                    }
+                }
+            }
+            if satisfiable {
+                covered += digits
+                    .iter()
+                    .zip(&radices)
+                    .map(|(d, &r)| if d.is_some() { 1u128 } else { u128::from(r) })
+                    .product::<u128>();
+                branch_digits.push(Some(digits));
+            } else {
+                branch_digits.push(None);
+            }
+        }
+        if covered > ENUM_CAP {
+            return legacy;
+        }
+
+        // Positional weights: keys fold most-significant-column-first, so
+        // weight_i = Π radices[i+1..].
+        let mut weights = vec![1u64; radices.len()];
+        for i in (0..radices.len().saturating_sub(1)).rev() {
+            weights[i] = weights[i + 1] * radices[i + 1];
+        }
+
+        let dense = matches!(choose_path(table.num_rows(), 1, 1, domain), KernelPath::Dense);
+        let mut dense_entries =
+            if dense { vec![entry(NO_MATCH, NEVER_CODE); domain as usize] } else { Vec::new() };
+        let mut hash_entries: HashMap<u64, u64> = HashMap::new();
+        // Multi-branch outcome interning: covering branch list → outcome id.
+        let mut multi: HashMap<Vec<u32>, u32> = HashMap::new();
+
+        for (bi, digits) in branch_digits.iter().enumerate() {
+            let Some(digits) = digits else { continue };
+            let free: Vec<usize> = (0..digits.len()).filter(|&i| digits[i].is_none()).collect();
+            let base: u64 = digits.iter().zip(&weights).map(|(d, &w)| d.unwrap_or(0) * w).sum();
+            let mut counters = vec![0u64; free.len()];
+            loop {
+                let key =
+                    base + free.iter().zip(&counters).map(|(&ci, &d)| d * weights[ci]).sum::<u64>();
+                let slot = if dense {
+                    &mut dense_entries[key as usize]
+                } else {
+                    hash_entries.entry(key).or_insert_with(|| entry(NO_MATCH, NEVER_CODE))
+                };
+                let oid = (*slot >> 32) as u32;
+                let new_oid = if oid == NO_MATCH {
+                    bi as u32
+                } else {
+                    merge_outcome(&mut outcomes, &mut multi, oid, bi as u32)
+                };
+                *slot = entry(new_oid, outcomes[new_oid as usize].clean);
+
+                // Mixed-radix odometer over the free columns.
+                let mut done = true;
+                for i in (0..free.len()).rev() {
+                    counters[i] += 1;
+                    if counters[i] < radices[free[i]] {
+                        done = false;
+                        break;
+                    }
+                    counters[i] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+
+        Self {
+            det_cols,
+            cards,
+            radices,
+            repr: if dense { Repr::Dense(dense_entries) } else { Repr::Hash(hash_entries) },
+            outcomes,
+        }
+    }
+
+    /// `true` when bulk scans must use the legacy row walk.
+    pub(crate) fn is_legacy(&self) -> bool {
+        matches!(self.repr, Repr::Legacy)
+    }
+
+    /// Folds the chunk's determinant codes into `keys` (one per row of
+    /// `range`), reusing the caller's buffer.
+    fn pack_range(&self, table: &Table, range: Range<usize>, keys: &mut Vec<u64>) {
+        keys.clear();
+        keys.resize(range.len(), 0);
+        for ((&col, &card), &radix) in self.det_cols.iter().zip(&self.cards).zip(&self.radices) {
+            let codes = &table.column(col).expect("bound column").codes()[range.clone()];
+            fold_mixed_radix(keys, codes, radix, |c| digit_of(c, card));
+        }
+    }
+
+    /// Appends this statement's raw violations over `range` to `out`
+    /// (row-major within the statement; callers interleave statements by
+    /// sorting, which reproduces legacy emission order exactly).
+    pub(crate) fn check_range(
+        &self,
+        stmt: &CompiledStatement,
+        table: &Table,
+        range: Range<usize>,
+        keys: &mut Vec<u64>,
+        out: &mut Vec<RawViolation>,
+    ) {
+        if self.is_legacy() {
+            return self.check_range_legacy(stmt, table, range, out);
+        }
+        self.pack_range(table, range.clone(), keys);
+        let dep = &table.column(stmt.on_col).expect("bound column").codes()[range.clone()];
+        let statement = stmt.statement_index as u32;
+        match &self.repr {
+            Repr::Dense(entries) => {
+                for (i, (&key, &actual)) in keys.iter().zip(dep).enumerate() {
+                    let e = entries[key as usize];
+                    if e as u32 == actual {
+                        continue;
+                    }
+                    let oid = (e >> 32) as u32;
+                    if oid == NO_MATCH {
+                        continue;
+                    }
+                    self.emit(stmt, oid, actual, range.start + i, statement, out);
+                }
+            }
+            Repr::Hash(map) => {
+                for (i, (&key, &actual)) in keys.iter().zip(dep).enumerate() {
+                    let Some(&e) = map.get(&key) else { continue };
+                    if e as u32 == actual {
+                        continue;
+                    }
+                    self.emit(stmt, (e >> 32) as u32, actual, range.start + i, statement, out);
+                }
+            }
+            Repr::Legacy => unreachable!("handled above"),
+        }
+    }
+
+    /// Slow path of the scan: the row's key is covered and its dependent
+    /// code is not clean — emit one violation per covering branch whose
+    /// expectation disagrees.
+    fn emit(
+        &self,
+        stmt: &CompiledStatement,
+        oid: u32,
+        actual: Code,
+        row: usize,
+        statement: u32,
+        out: &mut Vec<RawViolation>,
+    ) {
+        for &bi in &self.outcomes[oid as usize].branches {
+            let violated = match stmt.branches()[bi as usize].literal_code {
+                Some(code) => code != actual,
+                None => true,
+            };
+            if violated {
+                out.push(RawViolation { row, statement, branch: bi });
+            }
+        }
+    }
+
+    /// Legacy fallback scan for statements without a decision table (the
+    /// only detect path that allocates — it binds conjunct slices per
+    /// call).
+    fn check_range_legacy(
+        &self,
+        stmt: &CompiledStatement,
+        table: &Table,
+        range: Range<usize>,
+        out: &mut Vec<RawViolation>,
+    ) {
+        let statement = stmt.statement_index as u32;
+        let dep = table.column(stmt.on_col).expect("bound column").codes();
+        let bound: Vec<_> = stmt.branches().iter().map(|b| b.bind(table)).collect();
+        for row in range {
+            let actual = dep[row];
+            for (b, conj) in stmt.branches().iter().zip(&bound) {
+                let Some(conj) = conj else { continue };
+                if !conj.iter().all(|&(codes, c)| codes[row] == c) {
+                    continue;
+                }
+                let violated = match b.literal_code {
+                    Some(code) => code != actual,
+                    None => true,
+                };
+                if violated {
+                    out.push(RawViolation { row, statement, branch: b.branch_index as u32 });
+                }
+            }
+        }
+    }
+
+    /// Collapses each outcome's branch cascade against the freshly
+    /// interned `branch_codes` (see [`RectEntry`]).
+    pub(crate) fn rect_entries(&self, branch_codes: &[Code]) -> Vec<RectEntry> {
+        self.outcomes
+            .iter()
+            .map(|o| {
+                let first = branch_codes[o.branches[0] as usize];
+                let mut base = 0usize;
+                let mut prev = first;
+                for &bi in &o.branches[1..] {
+                    let code = branch_codes[bi as usize];
+                    if code != prev {
+                        base += 1;
+                    }
+                    prev = code;
+                }
+                RectEntry { first, last: prev, base }
+            })
+            .collect()
+    }
+
+    /// Rectify scan over `range` against an immutable `snapshot`:
+    /// accumulates the legacy change count and pushes `(row, code)` writes
+    /// for rows whose final cascade value differs from the stored one.
+    pub(crate) fn rectify_range(
+        &self,
+        stmt: &CompiledStatement,
+        snapshot: &Table,
+        range: Range<usize>,
+        rect: &[RectEntry],
+        keys: &mut Vec<u64>,
+        writes: &mut Vec<(usize, Code)>,
+    ) -> usize {
+        self.pack_range(snapshot, range.clone(), keys);
+        let dep = &snapshot.column(stmt.on_col).expect("bound column").codes()[range.clone()];
+        let mut delta = 0usize;
+        match &self.repr {
+            Repr::Dense(entries) => {
+                for (i, (&key, &original)) in keys.iter().zip(dep).enumerate() {
+                    let oid = (entries[key as usize] >> 32) as u32;
+                    if oid == NO_MATCH {
+                        continue;
+                    }
+                    let r = rect[oid as usize];
+                    delta += r.base + usize::from(original != r.first);
+                    if original != r.last {
+                        writes.push((range.start + i, r.last));
+                    }
+                }
+            }
+            Repr::Hash(map) => {
+                for (i, (&key, &original)) in keys.iter().zip(dep).enumerate() {
+                    let Some(&e) = map.get(&key) else { continue };
+                    let r = rect[(e >> 32) as usize];
+                    delta += r.base + usize::from(original != r.first);
+                    if original != r.last {
+                        writes.push((range.start + i, r.last));
+                    }
+                }
+            }
+            Repr::Legacy => unreachable!("caller dispatches legacy rectify"),
+        }
+        delta
+    }
+}
+
+/// Interns the outcome covering `outcomes[oid].branches + [bi]`, creating
+/// it on first sight. Branches insert keys in ascending index order and
+/// each key at most once per branch, so the appended list stays sorted and
+/// duplicate-free.
+fn merge_outcome(
+    outcomes: &mut Vec<Outcome>,
+    multi: &mut HashMap<Vec<u32>, u32>,
+    oid: u32,
+    bi: u32,
+) -> u32 {
+    let mut branches = outcomes[oid as usize].branches.clone();
+    debug_assert!(branches.last().is_some_and(|&last| last < bi));
+    branches.push(bi);
+    if let Some(&id) = multi.get(&branches) {
+        return id;
+    }
+    let prev_clean = outcomes[oid as usize].clean;
+    let bi_clean = outcomes[bi as usize].clean;
+    let clean =
+        if prev_clean != NEVER_CODE && prev_clean == bi_clean { prev_clean } else { NEVER_CODE };
+    let id = outcomes.len() as u32;
+    outcomes.push(Outcome { branches: branches.clone(), clean });
+    multi.insert(branches, id);
+    id
+}

@@ -1,25 +1,46 @@
 //! The DSL interpreter: denotational semantics over rows and tables.
 //!
-//! Two evaluation paths are provided:
+//! Three evaluation paths are provided:
 //!
-//! * **Table-bound (code-level)** — [`CompiledProgram`] binds a program to a
+//! * **Vectorized (code-level)** — [`CompiledProgram`] binds a program to a
 //!   concrete [`Table`], resolving attribute names to column indices and
-//!   literals to dictionary codes once; condition matching then is integer
-//!   comparison. This is the path the synthesizer and the batch error
-//!   detector use.
+//!   literals to dictionary codes once, and compiles each statement into a
+//!   [decision table](crate::engine): bulk scans pack determinant codes
+//!   into mixed-radix keys and do one lookup + one compare per row. This
+//!   is the serving path — [`CompiledProgram::check_table`],
+//!   [`CompiledProgram::rectify_table`], [`CompiledProgram::coerce_table`]
+//!   and their `_parallel` variants.
+//! * **Legacy (code-level reference)** —
+//!   [`CompiledProgram::check_table_reference`] /
+//!   [`CompiledProgram::rectify_table_reference`] keep the row-at-a-time
+//!   branch walk as the differential-testing oracle (mirroring the stats
+//!   crate's `ci_test_reference`).
 //! * **Row-level (value-level)** — [`Program::execute_row`] /
 //!   [`Program::check_row`] interpret a program over a single owned
 //!   [`Row`] by name, used by the SQL executor's per-row guardrail hook.
 
 use crate::ast::{Branch, Program, Statement};
+use crate::engine::{DetectScratch, RawViolation, StatementEngine};
 use crate::error::DslError;
 use guardrail_governor::{parallel_chunks, Parallelism};
 use guardrail_table::{Code, Row, Table, Value, NULL_CODE};
+use std::cell::RefCell;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Rows per work item in the chunk-parallel table scans: coarse enough that
 /// per-chunk bookkeeping is negligible, fine enough that mid-size tables
-/// still split across workers.
+/// still split across workers (and that per-chunk key buffers stay
+/// cache-resident).
 const ROW_CHUNK: usize = 4096;
+
+thread_local! {
+    /// Per-thread scan scratch: key and raw-violation buffers warm up to
+    /// chunk size and are reused across chunks, statements, and calls, so
+    /// steady-state detection does zero heap allocation (pinned by
+    /// `tests/alloc_free.rs`).
+    static SCRATCH: RefCell<DetectScratch> = RefCell::new(DetectScratch::default());
+}
 
 /// One detected constraint violation: executing branch `branch` of statement
 /// `statement` on row `row` would assign `expected`, but the row holds
@@ -32,8 +53,9 @@ pub struct Violation {
     pub statement: usize,
     /// Branch index within the statement.
     pub branch: usize,
-    /// The dependent attribute.
-    pub attribute: String,
+    /// The dependent attribute. Interned once per compiled statement:
+    /// emitting a violation bumps a refcount instead of copying the name.
+    pub attribute: Arc<str>,
     /// Value the DGP program assigns.
     pub expected: Value,
     /// Value found in the data.
@@ -44,6 +66,8 @@ pub struct Violation {
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
     statements: Vec<CompiledStatement>,
+    /// One decision table per statement, aligned with `statements`.
+    engines: Vec<StatementEngine>,
 }
 
 /// A compiled statement.
@@ -53,8 +77,8 @@ pub struct CompiledStatement {
     pub statement_index: usize,
     /// Column index of the dependent attribute.
     pub on_col: usize,
-    /// Dependent attribute name (for reporting).
-    pub on_name: String,
+    /// Dependent attribute name (interned for violation reporting).
+    pub on_name: Arc<str>,
     branches: Vec<CompiledBranch>,
 }
 
@@ -65,7 +89,7 @@ pub struct CompiledBranch {
     pub branch_index: usize,
     /// `(column, code)` conjuncts; `code == None` means the literal does not
     /// occur in that column's dictionary, so the condition matches no row.
-    conjuncts: Vec<(usize, Option<Code>)>,
+    pub(crate) conjuncts: Vec<(usize, Option<Code>)>,
     /// The assigned literal.
     pub literal: Value,
     /// Dictionary code of the literal in the dependent column, if interned.
@@ -73,6 +97,11 @@ pub struct CompiledBranch {
 }
 
 impl CompiledBranch {
+    /// The `(column, code)` conjuncts of the branch condition.
+    pub(crate) fn conjuncts(&self) -> &[(usize, Option<Code>)] {
+        &self.conjuncts
+    }
+
     /// `true` when the branch's condition holds on row `row` of `table`.
     pub fn matches(&self, table: &Table, row: usize) -> bool {
         self.conjuncts.iter().all(|&(col, code)| match code {
@@ -81,9 +110,25 @@ impl CompiledBranch {
         })
     }
 
+    /// Binds the branch's conjuncts to their column code slices, hoisting
+    /// `table.column(..)` resolution out of row loops. `None` when some
+    /// conjunct literal is absent from the bound dictionary — such a
+    /// condition matches no row.
+    pub(crate) fn bind<'t>(&self, table: &'t Table) -> Option<Vec<(&'t [Code], Code)>> {
+        self.conjuncts
+            .iter()
+            .map(|&(col, code)| code.map(|c| (table.column(col).expect("bound column").codes(), c)))
+            .collect()
+    }
+
     /// Row indices of `D^b`: rows satisfying the branch condition.
     pub fn matching_rows(&self, table: &Table) -> Vec<usize> {
-        (0..table.num_rows()).filter(|&r| self.matches(table, r)).collect()
+        match self.bind(table) {
+            None => Vec::new(),
+            Some(conj) => (0..table.num_rows())
+                .filter(|&row| conj.iter().all(|&(codes, c)| codes[row] == c))
+                .collect(),
+        }
     }
 }
 
@@ -119,11 +164,12 @@ impl CompiledProgram {
             statements.push(CompiledStatement {
                 statement_index: si,
                 on_col,
-                on_name: s.on.clone(),
+                on_name: Arc::from(s.on.as_str()),
                 branches,
             });
         }
-        Ok(Self { statements })
+        let engines = statements.iter().map(|s| StatementEngine::build(s, table)).collect();
+        Ok(Self { statements, engines })
     }
 
     /// Compiled statements.
@@ -131,7 +177,7 @@ impl CompiledProgram {
         &self.statements
     }
 
-    /// All violations across the table.
+    /// All violations across the table (vectorized decision-table scan).
     pub fn check_table(&self, table: &Table) -> Vec<Violation> {
         self.check_table_parallel(table, Parallelism::Sequential)
     }
@@ -139,16 +185,120 @@ impl CompiledProgram {
     /// [`check_table`](Self::check_table) with row chunks scanned on worker
     /// threads. Checking only reads the table, so chunks are independent;
     /// per-chunk violation lists concatenate in range order, making the
-    /// output bit-identical to the sequential scan for any worker count.
+    /// output bit-identical to the sequential scan for any worker count —
+    /// and to [`check_table_reference`](Self::check_table_reference).
     pub fn check_table_parallel(&self, table: &Table, parallelism: Parallelism) -> Vec<Violation> {
         let per_chunk = parallel_chunks(parallelism, table.num_rows(), ROW_CHUNK, &|range| {
-            let mut out = Vec::new();
-            for row in range {
-                self.check_row_into(table, row, &mut out);
-            }
-            out
+            SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                let DetectScratch { keys, raw } = &mut *scratch;
+                raw.clear();
+                self.check_chunk_raw(table, range, keys, raw);
+                raw.iter().map(|r| self.raw_to_violation(table, r)).collect::<Vec<_>>()
+            })
         });
         per_chunk.concat()
+    }
+
+    /// Allocation-free core of the vectorized scan: fills `out` with the
+    /// table's violations in index form (same order as
+    /// [`check_table`](Self::check_table)), reusing `out`'s and `scratch`'s
+    /// buffers. Once those are warm, detection over dense- or
+    /// hash-represented statements performs **zero** heap allocation — no
+    /// name interning, no value decoding, no per-chunk lists.
+    pub fn check_table_raw_into(
+        &self,
+        table: &Table,
+        out: &mut Vec<RawViolation>,
+        scratch: &mut DetectScratch,
+    ) {
+        out.clear();
+        let rows = table.num_rows();
+        let mut start = 0;
+        while start < rows {
+            let end = (start + ROW_CHUNK).min(rows);
+            self.check_chunk_raw(table, start..end, &mut scratch.keys, out);
+            start = end;
+        }
+    }
+
+    /// Scans one row chunk statement-by-statement, then sorts the appended
+    /// segment into `(row, statement, branch)` order — exactly the legacy
+    /// interpreter's row-major emission order.
+    fn check_chunk_raw(
+        &self,
+        table: &Table,
+        range: Range<usize>,
+        keys: &mut Vec<u64>,
+        out: &mut Vec<RawViolation>,
+    ) {
+        let start = out.len();
+        for (s, engine) in self.statements.iter().zip(&self.engines) {
+            engine.check_range(s, table, range.clone(), keys, out);
+        }
+        out[start..].sort_unstable();
+    }
+
+    /// Upgrades a raw violation at the API boundary: one `Arc` bump for the
+    /// attribute name, one dictionary decode for the offending cell.
+    fn raw_to_violation(&self, table: &Table, raw: &RawViolation) -> Violation {
+        let s = &self.statements[raw.statement as usize];
+        let b = &s.branches[raw.branch as usize];
+        let col = table.column(s.on_col).expect("bound column");
+        Violation {
+            row: raw.row,
+            statement: s.statement_index,
+            branch: b.branch_index,
+            attribute: s.on_name.clone(),
+            expected: b.literal.clone(),
+            actual: col.dictionary().decode(col.code(raw.row)),
+        }
+    }
+
+    /// The legacy row-at-a-time interpreter, retained as the
+    /// differential-testing oracle for the decision-table engine (mirroring
+    /// the stats crate's `ci_test_reference`). Conjunct code slices are
+    /// bound once per scan, so differential benches compare interpretation
+    /// strategies rather than repeated column resolution.
+    pub fn check_table_reference(&self, table: &Table) -> Vec<Violation> {
+        let bound: Vec<_> = self
+            .statements
+            .iter()
+            .map(|s| {
+                let on = table.column(s.on_col).expect("bound column");
+                let conj: Vec<_> = s.branches.iter().map(|b| b.bind(table)).collect();
+                (s, on, conj)
+            })
+            .collect();
+        let mut out = Vec::new();
+        for row in 0..table.num_rows() {
+            for (s, on, conj) in &bound {
+                let actual_code = on.codes()[row];
+                for (b, conj) in s.branches.iter().zip(conj) {
+                    let Some(conj) = conj else { continue };
+                    if !conj.iter().all(|&(codes, c)| codes[row] == c) {
+                        continue;
+                    }
+                    let violated = match b.literal_code {
+                        Some(code) => actual_code != code,
+                        // Literal never interned in this table: every
+                        // matching row disagrees with the assignment.
+                        None => true,
+                    };
+                    if violated {
+                        out.push(Violation {
+                            row,
+                            statement: s.statement_index,
+                            branch: b.branch_index,
+                            attribute: s.on_name.clone(),
+                            expected: b.literal.clone(),
+                            actual: on.dictionary().decode(actual_code),
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Violations on a single row of the bound table.
@@ -205,65 +355,121 @@ impl CompiledProgram {
     }
 
     /// [`rectify_table`](Self::rectify_table) with row chunks scanned on
-    /// worker threads.
+    /// worker threads, on the decision-table engine.
     ///
     /// Statements stay sequential — later statements must see earlier
     /// statements' writes (chained repairs, e.g. fix `city` then derive
-    /// `state` from the corrected `city`). Within one statement every row is
-    /// independent: a row's writes touch only its own dependent cell.
-    /// Workers therefore scan an immutable snapshot and *simulate* the
-    /// per-row branch cascade (tracking the evolving dependent code, which a
-    /// later branch of the same statement may re-read through its condition),
-    /// then a sequential pass applies the per-chunk write lists in range
-    /// order. Cell contents and the returned change count are bit-identical
-    /// to the sequential scheme for any worker count.
+    /// `state` from the corrected `city`), and the determinant keys of each
+    /// statement are re-packed from the updated table. Within one statement
+    /// every row is independent: validated programs never read a
+    /// statement's dependent column in its own conditions, so the per-row
+    /// branch cascade at a covered key is a static function of the key —
+    /// workers scan an immutable snapshot through the precomputed
+    /// per-outcome cascade summaries and push `(row, code)` write lists
+    /// that a sequential pass applies in range order. Cell contents and
+    /// the returned change count are bit-identical to
+    /// [`rectify_table_reference`](Self::rectify_table_reference) for any
+    /// worker count.
     pub fn rectify_table_parallel(&self, table: &mut Table, parallelism: Parallelism) -> usize {
         let mut changed = 0;
-        for s in &self.statements {
-            // Intern the literals once per statement so new values (absent
-            // from this split's dictionary) can be written.
-            let branch_codes: Vec<Code> = s
-                .branches
-                .iter()
-                .map(|b| {
-                    let col = table.column_mut(s.on_col).expect("bound column");
-                    col.dictionary_mut().encode(b.literal.clone())
-                })
-                .collect();
-            let snapshot: &Table = table;
-            let per_chunk: Vec<(usize, Vec<(usize, Code)>)> =
+        for (s, engine) in self.statements.iter().zip(&self.engines) {
+            let branch_codes = Self::intern_branch_codes(s, table);
+            if engine.is_legacy() {
+                changed += Self::rectify_statement_legacy(s, &branch_codes, table, parallelism);
+                continue;
+            }
+            let rect = engine.rect_entries(&branch_codes);
+            let per_chunk: Vec<(usize, Vec<(usize, Code)>)> = {
+                let snapshot: &Table = table;
                 parallel_chunks(parallelism, snapshot.num_rows(), ROW_CHUNK, &|range| {
-                    let mut delta = 0usize;
-                    let mut writes: Vec<(usize, Code)> = Vec::new();
-                    let on = snapshot.column(s.on_col).expect("bound column");
-                    for row in range {
-                        let original = on.code(row);
-                        let mut cur = original;
-                        for (b, &code) in s.branches.iter().zip(&branch_codes) {
-                            let matches = b.conjuncts.iter().all(|&(col, k)| match k {
-                                Some(k) if col == s.on_col => cur == k,
-                                Some(k) => {
-                                    snapshot.column(col).expect("bound column").code(row) == k
-                                }
-                                None => false,
-                            });
-                            if matches && cur != code {
-                                cur = code;
-                                delta += 1;
-                            }
-                        }
-                        if cur != original {
-                            writes.push((row, cur));
-                        }
-                    }
-                    (delta, writes)
-                });
+                    SCRATCH.with(|scratch| {
+                        let mut scratch = scratch.borrow_mut();
+                        let mut writes: Vec<(usize, Code)> = Vec::new();
+                        let delta = engine.rectify_range(
+                            s,
+                            snapshot,
+                            range,
+                            &rect,
+                            &mut scratch.keys,
+                            &mut writes,
+                        );
+                        (delta, writes)
+                    })
+                })
+            };
             for (delta, writes) in per_chunk {
                 changed += delta;
                 let col = table.column_mut(s.on_col).expect("bound column");
                 for (row, code) in writes {
                     col.set_code(row, code);
                 }
+            }
+        }
+        changed
+    }
+
+    /// The legacy rectify scheme, retained as the differential-testing
+    /// oracle: sequential per-row branch-cascade simulation.
+    pub fn rectify_table_reference(&self, table: &mut Table) -> usize {
+        let mut changed = 0;
+        for s in &self.statements {
+            let branch_codes = Self::intern_branch_codes(s, table);
+            changed +=
+                Self::rectify_statement_legacy(s, &branch_codes, table, Parallelism::Sequential);
+        }
+        changed
+    }
+
+    /// Interns a statement's branch literals once so new values (absent
+    /// from this split's dictionary) can be written.
+    fn intern_branch_codes(s: &CompiledStatement, table: &mut Table) -> Vec<Code> {
+        let col = table.column_mut(s.on_col).expect("bound column");
+        s.branches.iter().map(|b| col.dictionary_mut().encode(b.literal.clone())).collect()
+    }
+
+    /// Row-at-a-time rectify for one statement (reference path and engine
+    /// fallback): workers simulate the per-row branch cascade against a
+    /// snapshot with conjunct slices bound once, then a sequential pass
+    /// applies the write lists in range order.
+    fn rectify_statement_legacy(
+        s: &CompiledStatement,
+        branch_codes: &[Code],
+        table: &mut Table,
+        parallelism: Parallelism,
+    ) -> usize {
+        let per_chunk: Vec<(usize, Vec<(usize, Code)>)> = {
+            let snapshot: &Table = table;
+            // Validated programs never condition a statement on its own
+            // dependent column, so the cascade can read determinants from
+            // the immutable snapshot.
+            let bound: Vec<_> = s.branches.iter().map(|b| b.bind(snapshot)).collect();
+            let on = snapshot.column(s.on_col).expect("bound column").codes();
+            parallel_chunks(parallelism, snapshot.num_rows(), ROW_CHUNK, &|range| {
+                let mut delta = 0usize;
+                let mut writes: Vec<(usize, Code)> = Vec::new();
+                for row in range {
+                    let original = on[row];
+                    let mut cur = original;
+                    for (conj, &code) in bound.iter().zip(branch_codes) {
+                        let Some(conj) = conj else { continue };
+                        if conj.iter().all(|&(codes, c)| codes[row] == c) && cur != code {
+                            cur = code;
+                            delta += 1;
+                        }
+                    }
+                    if cur != original {
+                        writes.push((row, cur));
+                    }
+                }
+                (delta, writes)
+            })
+        };
+        let mut changed = 0;
+        for (delta, writes) in per_chunk {
+            changed += delta;
+            let col = table.column_mut(s.on_col).expect("bound column");
+            for (row, code) in writes {
+                col.set_code(row, code);
             }
         }
         changed
@@ -327,7 +533,7 @@ impl Program {
                             row: 0,
                             statement: si,
                             branch: bi,
-                            attribute: s.on.clone(),
+                            attribute: Arc::from(s.on.as_str()),
                             expected: b.literal.clone(),
                             actual,
                         });
@@ -396,7 +602,7 @@ mod tests {
         assert_eq!(violations.len(), 1);
         let v = &violations[0];
         assert_eq!(v.row, 1);
-        assert_eq!(v.attribute, "city");
+        assert_eq!(&*v.attribute, "city");
         assert_eq!(v.expected, Value::from("Berkeley"));
         assert_eq!(v.actual, Value::from("gibbon"));
         assert_eq!(compiled.violating_rows(&table), vec![1]);

@@ -37,12 +37,14 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod engine;
 pub mod error;
 pub mod interp;
 pub mod parser;
 pub mod semantics;
 
 pub use ast::{Branch, Condition, Program, Statement};
+pub use engine::{DetectScratch, RawViolation};
 pub use error::DslError;
 pub use interp::{CompiledProgram, Violation};
 pub use parser::parse_program;

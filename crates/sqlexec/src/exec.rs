@@ -8,6 +8,7 @@ use crate::parser::parse_query;
 use guardrail_core::{ErrorScheme, Guardrail, RowOutcome};
 use guardrail_table::{Row, Table, TableBuilder, Value};
 use std::collections::HashMap;
+use std::fmt;
 use std::time::Instant;
 
 /// Per-query execution statistics (the Table 6 breakdown).
@@ -18,6 +19,8 @@ pub struct ExecutionStats {
     /// Rows surviving pushed-down predicates (== `rows_scanned` when no
     /// predicate was pushable).
     pub rows_after_pushdown: usize,
+    /// Rows vetted by the guardrail before inference.
+    pub rows_vetted: usize,
     /// Model invocations performed.
     pub predictions: usize,
     /// Nanoseconds spent in Guardrail row vetting.
@@ -26,6 +29,31 @@ pub struct ExecutionStats {
     pub inference_nanos: u128,
     /// Constraint violations encountered.
     pub violations: usize,
+}
+
+impl fmt::Display for ExecutionStats {
+    /// `EXPLAIN ANALYZE`-style rendering, one stage per line (the format
+    /// [`Executor::explain_analyze`] appends below the plan).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Execution: scanned {} rows, {} after pushdown",
+            self.rows_scanned, self.rows_after_pushdown
+        )?;
+        writeln!(
+            f,
+            "  Guardrail: vetted {} rows, {} violations, {:.3} ms",
+            self.rows_vetted,
+            self.violations,
+            self.guardrail_nanos as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "  Inference: {} predictions, {:.3} ms",
+            self.predictions,
+            self.inference_nanos as f64 / 1e6
+        )
+    }
 }
 
 /// A query result: the output relation plus execution statistics.
@@ -129,6 +157,14 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
+    /// `EXPLAIN ANALYZE`: renders the plan, executes the query, and appends
+    /// the observed [`ExecutionStats`] below it.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String, SqlError> {
+        let plan = self.explain(sql)?;
+        let out = self.run(sql)?;
+        Ok(format!("{plan}{}", out.stats))
+    }
+
     /// Executes a parsed query.
     pub fn run_query(&self, query: &Query) -> Result<QueryOutput, SqlError> {
         let base = self
@@ -168,8 +204,12 @@ impl<'a> Executor<'a> {
             }
         }
 
-        // Phase 2: per-row guardrail vetting, inference, alias computation,
-        // residual filtering.
+        // Phase 2: guardrail vetting, inference, alias computation, residual
+        // filtering. Vetting is batched: the surviving rows are gathered
+        // into a sub-table and checked in one vectorized decision-table
+        // pass, instead of materializing a `Row` and re-resolving attribute
+        // names per row. The per-row value-level hook remains as the
+        // fallback for programs that do not bind to this table's schema.
         let scalar_projections: Vec<(usize, &Expr, &str)> = query
             .projections
             .iter()
@@ -178,38 +218,74 @@ impl<'a> Executor<'a> {
             .map(|(i, p)| (i, &p.expr, p.name.as_str()))
             .collect();
 
+        let mut vetted: Option<Table> = None;
+        if !models.is_empty() {
+            if let Some((guard, scheme)) = self.guardrail {
+                let t0 = Instant::now();
+                let batch = guard.vet_rows(base, &surviving, scheme);
+                stats.guardrail_nanos += t0.elapsed().as_nanos();
+                if let Some(batch) = batch {
+                    stats.rows_vetted += surviving.len();
+                    stats.violations += batch.violations.len();
+                    if matches!(scheme, ErrorScheme::Raise) {
+                        // Violations are row-ordered, so the first one is on
+                        // the first dirty row — where the per-row hook would
+                        // have aborted.
+                        if let Some(v) = batch.violations.first() {
+                            return Err(SqlError::GuardrailRaise {
+                                row: surviving[v.row],
+                                detail: format!(
+                                    "{} should be {} (found {})",
+                                    v.attribute, v.expected, v.actual
+                                ),
+                            });
+                        }
+                    }
+                    vetted = Some(batch.table);
+                }
+            }
+        }
+
         struct Processed {
             row: Row,
             predictions: HashMap<String, Value>,
             aliases: HashMap<String, Value>,
         }
         let mut processed: Vec<Processed> = Vec::with_capacity(surviving.len());
-        for &i in &surviving {
-            let mut row = base.row_owned(i).expect("row in range");
+        for (k, &i) in surviving.iter().enumerate() {
+            let mut row = match &vetted {
+                // Batched path: row k of the vetted sub-table is base row
+                // `surviving[k]` after the error scheme was applied.
+                Some(t) => t.row_owned(k).expect("row in range"),
+                None => base.row_owned(i).expect("row in range"),
+            };
             let mut predictions = HashMap::new();
             if !models.is_empty() {
-                if let Some((guard, scheme)) = self.guardrail {
-                    let t0 = Instant::now();
-                    let outcome = guard.handle_row(&row, scheme);
-                    stats.guardrail_nanos += t0.elapsed().as_nanos();
-                    stats.violations += outcome.violations().len();
-                    match outcome {
-                        RowOutcome::Raised(violations) => {
-                            return Err(SqlError::GuardrailRaise {
-                                row: i,
-                                detail: violations
-                                    .first()
-                                    .map(|v| {
-                                        format!(
-                                            "{} should be {} (found {})",
-                                            v.attribute, v.expected, v.actual
-                                        )
-                                    })
-                                    .unwrap_or_default(),
-                            })
-                        }
-                        outcome => {
-                            row = outcome.row().expect("non-raise outcome has a row").clone();
+                if vetted.is_none() {
+                    if let Some((guard, scheme)) = self.guardrail {
+                        let t0 = Instant::now();
+                        let outcome = guard.handle_row(&row, scheme);
+                        stats.guardrail_nanos += t0.elapsed().as_nanos();
+                        stats.rows_vetted += 1;
+                        stats.violations += outcome.violations().len();
+                        match outcome {
+                            RowOutcome::Raised(violations) => {
+                                return Err(SqlError::GuardrailRaise {
+                                    row: i,
+                                    detail: violations
+                                        .first()
+                                        .map(|v| {
+                                            format!(
+                                                "{} should be {} (found {})",
+                                                v.attribute, v.expected, v.actual
+                                            )
+                                        })
+                                        .unwrap_or_default(),
+                                })
+                            }
+                            outcome => {
+                                row = outcome.row().expect("non-raise outcome has a row").clone();
+                            }
                         }
                     }
                 }
@@ -816,7 +892,50 @@ mod tests {
         let out = exec.run("SELECT PREDICT(m) AS p, city FROM d ORDER BY city").unwrap();
         assert!(out.stats.violations > 0, "corrupted row must be flagged");
         assert!(out.stats.guardrail_nanos > 0);
+        assert_eq!(out.stats.rows_vetted, 2, "both surviving rows are vetted in the batch");
         assert_eq!(out.table.num_rows(), 2);
+    }
+
+    #[test]
+    fn explain_analyze_surfaces_vetting_counters() {
+        let mut csv = String::from("city,income\n");
+        for _ in 0..100 {
+            csv.push_str("A,high\nB,low\n");
+        }
+        let clean = Table::from_csv_str(&csv).unwrap();
+        let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+        let model = NaiveBayes::fit(&clean, 1);
+        let mut c = Catalog::new();
+        c.add_table("d", Table::from_csv_str("city,income\nA,low\nB,low\n").unwrap());
+        c.add_model("m", Arc::new(model));
+        let exec = Executor::new(&c).with_guardrail(&guard, ErrorScheme::Rectify);
+        let report = exec.explain_analyze("SELECT PREDICT(m) AS p, city FROM d").unwrap();
+        assert!(report.contains("Scan d"), "{report}");
+        assert!(report.contains("Guardrail: vetted 2 rows, 1 violations"), "{report}");
+        assert!(report.contains("Inference: 2 predictions"), "{report}");
+    }
+
+    #[test]
+    fn unbindable_program_falls_back_to_row_vetting() {
+        // The guardrail's program mentions `income`, which the queried table
+        // lacks: batched compilation is all-or-nothing, so vetting must fall
+        // back to the value-level per-row hook (which flags the missing
+        // attribute as Null ≠ literal).
+        let mut csv = String::from("city,income\n");
+        for _ in 0..100 {
+            csv.push_str("A,high\nB,low\n");
+        }
+        let clean = Table::from_csv_str(&csv).unwrap();
+        let guard = Guardrail::fit(&clean, &GuardrailConfig::default());
+        let model = NaiveBayes::fit(&clean, 1);
+        let mut c = Catalog::new();
+        c.add_table("d", Table::from_csv_str("city\nA\n").unwrap());
+        c.add_model("m", Arc::new(model));
+        let exec = Executor::new(&c).with_guardrail(&guard, ErrorScheme::Ignore);
+        let out = exec.run("SELECT PREDICT(m) AS p FROM d").unwrap();
+        assert_eq!(out.stats.rows_vetted, 1);
+        assert!(out.stats.violations > 0, "Null income must disagree with the constraint");
+        assert_eq!(out.table.num_rows(), 1);
     }
 
     #[test]
@@ -854,6 +973,7 @@ mod tests {
             .unwrap();
         assert_eq!(out.stats.guardrail_nanos, 0);
         assert_eq!(out.stats.violations, 0);
+        assert_eq!(out.stats.rows_vetted, 0);
         assert_eq!(out.table.num_rows(), 1);
     }
 

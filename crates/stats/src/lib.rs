@@ -34,4 +34,4 @@ pub use contingency::ContingencyTable;
 pub use independence::{ci_test, ci_test_reference, CiTestKind, CiTestResult};
 pub use metrics::BinaryConfusion;
 pub use rank::spearman;
-pub use suffstats::{CiScratch, KernelPath, Strata, StratumPack};
+pub use suffstats::{choose_path, fold_mixed_radix, CiScratch, KernelPath, Strata, StratumPack};

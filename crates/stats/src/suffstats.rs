@@ -66,9 +66,7 @@ impl StratumPack {
         let mut keys = vec![0u64; n];
         for (col, &card) in columns.iter().zip(cards) {
             assert_eq!(col.len(), n, "conditioning columns must be aligned");
-            for (k, &code) in keys.iter_mut().zip(col.iter()) {
-                *k = *k * card as u64 + code as u64;
-            }
+            fold_mixed_radix(&mut keys, col, card as u64, |code| code as u64);
         }
         Some(Self { keys, domain })
     }
@@ -85,8 +83,8 @@ impl StratumPack {
     pub fn extend(&self, col: &[u32], card: usize) -> Option<Self> {
         assert_eq!(col.len(), self.keys.len(), "conditioning columns must be aligned");
         let domain = self.domain.checked_mul(card as u64)?;
-        let keys =
-            self.keys.iter().zip(col.iter()).map(|(&k, &c)| k * card as u64 + c as u64).collect();
+        let mut keys = self.keys.clone();
+        fold_mixed_radix(&mut keys, col, card as u64, |code| code as u64);
         Some(Self { keys, domain })
     }
 
@@ -108,6 +106,25 @@ impl StratumPack {
     /// Consumes the pack, returning the bare key vector.
     pub fn into_keys(self) -> Vec<u64> {
         self.keys
+    }
+}
+
+/// Folds one more mixed-radix digit into `keys` in place:
+/// `key' = key·radix + digit(code)`.
+///
+/// This is the primitive underneath [`StratumPack::pack`] /
+/// [`StratumPack::extend`] (where `digit` is the identity and `radix` the
+/// column cardinality), exported so other key-packing consumers — notably
+/// the DSL's decision-table engine, whose digit map sends `NULL_CODE` and
+/// out-of-dictionary codes to reserved digits — share the exact fold order
+/// and arithmetic. `digit` must return values `< radix` or downstream
+/// dense indexing is out of bounds; the caller is responsible for keeping
+/// the accumulated domain within `u64`.
+#[inline]
+pub fn fold_mixed_radix(keys: &mut [u64], codes: &[u32], radix: u64, digit: impl Fn(u32) -> u64) {
+    assert_eq!(keys.len(), codes.len(), "key and code slices must be aligned");
+    for (k, &code) in keys.iter_mut().zip(codes.iter()) {
+        *k = *k * radix + digit(code);
     }
 }
 

@@ -1,19 +1,30 @@
-//! Proves the steady-state allocation claim of the fused CI-test kernel:
-//! once a thread's scratch buffers are warm, further tests — dense
-//! tabulation, statistic folding, and the chi-squared p-value — touch the
-//! heap zero times.
+//! Proves the steady-state allocation claims of the hot serving kernels:
+//! once scratch buffers are warm, further work touches the heap zero times.
+//! Covered here:
+//!
+//! * the fused CI-test kernel (dense tabulation, statistic folding, and the
+//!   chi-squared p-value), and
+//! * the vectorized decision-table detect pass
+//!   (`CompiledProgram::check_table_raw_into` with a caller-owned
+//!   [`DetectScratch`]).
 //!
 //! The whole test binary runs under a counting global allocator (its own
-//! integration-test binary, so no other tests pollute the counter); the
-//! single test warms the kernel on every shape it will measure, snapshots
-//! the allocation counter, and then requires thousands of further tests to
-//! leave it untouched.
+//! integration-test binary, so no other tests pollute the counter). The
+//! counter is still process-global, so the tests serialize on a mutex —
+//! cargo's default parallel test threads would otherwise attribute one
+//! test's allocations to the other's measured window. Each test warms its
+//! kernel on every shape it will measure, snapshots the allocation counter,
+//! and then requires hundreds of further passes to leave it untouched.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
+use guardrail::dsl::ast::{Branch, Condition, Program, Statement};
+use guardrail::dsl::DetectScratch;
 use guardrail::stats::suffstats::{ci_test_fused, Strata, StratumPack};
 use guardrail::stats::CiTestKind;
+use guardrail::table::{Table, TableBuilder, Value};
 
 struct CountingAlloc;
 
@@ -43,6 +54,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Serializes the tests: `ALLOCATIONS` is process-global, so concurrent
+/// tests would pollute each other's measured windows.
+static SERIAL: Mutex<()> = Mutex::new(());
+
 fn xorshift(seed: u64) -> impl FnMut() -> u64 {
     let mut s = seed.max(1);
     move || {
@@ -55,6 +70,7 @@ fn xorshift(seed: u64) -> impl FnMut() -> u64 {
 
 #[test]
 fn steady_state_ci_tests_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
     let mut rng = xorshift(1234);
     let n = 20_000;
     let (nx, ny) = (3usize, 4usize);
@@ -93,6 +109,76 @@ fn steady_state_ci_tests_do_not_allocate() {
         after - before,
         0,
         "warmed dense-path CI tests must not touch the heap ({} allocations over 3000 tests)",
+        after - before
+    );
+}
+
+/// A noisy two-statement serving table: zip determines city, city determines
+/// state, with a sprinkle of corrupted dependents so the detect pass emits
+/// violations (the emit path is the part most tempted to allocate).
+fn noisy_table(rows: usize) -> (Table, Program) {
+    let mut rng = xorshift(987);
+    let mut builder =
+        TableBuilder::new(vec!["zip".to_string(), "city".to_string(), "state".to_string()]);
+    for _ in 0..rows {
+        let z = rng() % 16;
+        let city = if rng() % 50 == 0 { (z + 1) % 8 } else { z % 8 };
+        let state = if rng() % 50 == 0 { (city + 1) % 4 } else { city % 4 };
+        builder
+            .push_row(vec![
+                Value::from(format!("z{z}")),
+                Value::from(format!("c{city}")),
+                Value::from(format!("s{state}")),
+            ])
+            .unwrap();
+    }
+    let table = builder.finish().unwrap();
+
+    let fd = |given: &str, on: &str, pairs: Vec<(String, String)>| Statement {
+        given: vec![given.to_string()],
+        on: on.to_string(),
+        branches: pairs
+            .into_iter()
+            .map(|(lhs, rhs)| Branch {
+                condition: Condition::new(vec![(given.to_string(), Value::from(lhs))]),
+                target: on.to_string(),
+                literal: Value::from(rhs),
+            })
+            .collect(),
+    };
+    let program = Program {
+        statements: vec![
+            fd("zip", "city", (0..16).map(|z| (format!("z{z}"), format!("c{}", z % 8))).collect()),
+            fd("city", "state", (0..8).map(|c| (format!("c{c}"), format!("s{}", c % 4))).collect()),
+        ],
+    };
+    (table, program)
+}
+
+#[test]
+fn steady_state_vectorized_detect_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    let (table, program) = noisy_table(12_000);
+    let compiled = program.compile_for(&table).unwrap();
+
+    let mut out = Vec::new();
+    let mut scratch = DetectScratch::default();
+    // Warm: first passes size the key buffer and the output vector.
+    for _ in 0..3 {
+        compiled.check_table_raw_into(&table, &mut out, &mut scratch);
+    }
+    assert!(!out.is_empty(), "the noisy table must produce violations to exercise the emit path");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..200 {
+        compiled.check_table_raw_into(&table, &mut out, &mut scratch);
+        std::hint::black_box(out.len());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warmed vectorized detect must not touch the heap ({} allocations over 200 passes)",
         after - before
     );
 }

@@ -1,0 +1,321 @@
+//! Differential suite for the vectorized decision-table engine.
+//!
+//! Every bulk operation of [`guardrail::dsl::CompiledProgram`] — check,
+//! rectify, coerce, at any worker count — must be bit-identical to the
+//! retained legacy interpreter (`check_table_reference` /
+//! `rectify_table_reference`), the same discipline `tests/ci_kernel.rs`
+//! applies to the fused CI kernel. The generators deliberately cover the
+//! engine's edge regimes:
+//!
+//! * NULL determinants (conjunct literals and cells that are `Null`),
+//! * un-interned literals (`literal_code == None` expected values and
+//!   conjuncts over values absent from the table's dictionary),
+//! * duplicate-condition branches (several branches covering the same key,
+//!   merged into multi-branch outcomes),
+//! * cross-table binding (a program compiled against one table scanned
+//!   over another whose dictionaries lack — or re-number — the training
+//!   values, exercising the alien-code digit),
+//! * Int/Float literals that collide under value equality (`1 == 1.0`).
+
+use guardrail::dsl::ast::{Branch, Condition, Program, Statement};
+use guardrail::dsl::DetectScratch;
+use guardrail::governor::Parallelism;
+use guardrail::table::{Table, TableBuilder, Value, NULL_CODE};
+use proptest::prelude::*;
+
+const COLS: [&str; 4] = ["c0", "c1", "c2", "c3"];
+
+/// Values a generated table cell can hold.
+fn cell_pool() -> Vec<Value> {
+    vec![
+        Value::Null,
+        Value::Int(0),
+        Value::Int(1),
+        Value::Int(2),
+        Value::from("v0"),
+        Value::from("v1"),
+    ]
+}
+
+/// Values a program literal can hold: the cell pool plus values never
+/// interned in any generated table, and a float colliding with `Int(1)`
+/// under value equality.
+fn literal_pool() -> Vec<Value> {
+    let mut pool = cell_pool();
+    pool.push(Value::from("ghost"));
+    pool.push(Value::Int(9));
+    pool.push(Value::Float(1.0));
+    pool
+}
+
+fn arb_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    let pool = cell_pool();
+    let indices = proptest::collection::vec(0..pool.len(), COLS.len()..=COLS.len());
+    proptest::collection::vec(indices, 1..max_rows).prop_map(|rows| {
+        let pool = cell_pool();
+        let mut builder = TableBuilder::new(COLS.iter().map(|c| c.to_string()).collect());
+        for row in rows {
+            builder.push_row(row.into_iter().map(|i| pool[i].clone()).collect()).unwrap();
+        }
+        builder.finish().unwrap()
+    })
+}
+
+/// Seed for one branch: a literal index per given column, an optional
+/// repeated conjunct (same column constrained twice — possibly
+/// contradictorily), and the assigned literal's index.
+type BranchSeed = (Vec<usize>, Option<(usize, usize)>, usize);
+
+fn arb_branch_seed() -> impl Strategy<Value = BranchSeed> {
+    let lits = literal_pool().len();
+    (
+        proptest::collection::vec(0..lits, COLS.len()..=COLS.len()),
+        // The vendored proptest has no `option::of`; model Option by hand.
+        (any::<bool>(), 0..COLS.len(), 0..lits).prop_map(|(some, gi, li)| some.then_some((gi, li))),
+        0..lits,
+    )
+        .prop_map(|(lit_is, dup, lit_i)| (lit_is, dup, lit_i))
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    (
+        0..COLS.len(),
+        proptest::collection::vec(any::<bool>(), COLS.len()..=COLS.len()),
+        proptest::collection::vec(arb_branch_seed(), 1..6),
+    )
+        .prop_filter_map("statement needs determinants", |(on_i, mask, seeds)| {
+            let pool = literal_pool();
+            let on = COLS[on_i].to_string();
+            let given: Vec<String> = COLS
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != on_i && mask[i])
+                .map(|(_, c)| c.to_string())
+                .collect();
+            if given.is_empty() {
+                return None;
+            }
+            let branches = seeds
+                .into_iter()
+                .map(|(lit_is, dup, lit_i)| {
+                    let mut conjuncts: Vec<(String, Value)> = given
+                        .iter()
+                        .zip(&lit_is)
+                        .map(|(g, &li)| (g.clone(), pool[li].clone()))
+                        .collect();
+                    if let Some((gi, li)) = dup {
+                        conjuncts.push((given[gi % given.len()].clone(), pool[li].clone()));
+                    }
+                    Branch {
+                        condition: Condition::new(conjuncts),
+                        target: on.clone(),
+                        literal: pool[lit_i].clone(),
+                    }
+                })
+                .collect();
+            Some(Statement { given, on, branches })
+        })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_statement(), 1..4)
+        .prop_map(|statements| Program { statements })
+        .prop_filter("valid program", |p| p.validate().is_ok())
+}
+
+fn assert_same_cells(a: &Table, b: &Table, context: &str) {
+    assert_eq!(a.num_rows(), b.num_rows(), "{context}: row count");
+    assert_eq!(a.num_columns(), b.num_columns(), "{context}: column count");
+    for row in 0..a.num_rows() {
+        for col in 0..a.num_columns() {
+            assert_eq!(a.get(row, col), b.get(row, col), "{context}: cell ({row},{col})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vectorized_check_matches_reference(
+        table in arb_table(120),
+        other in arb_table(80),
+        program in arb_program(),
+    ) {
+        let compiled = program.compile_for(&table).unwrap();
+        let reference = compiled.check_table_reference(&table);
+        prop_assert_eq!(&compiled.check_table(&table), &reference);
+        for threads in [2usize, 5] {
+            prop_assert_eq!(
+                &compiled.check_table_parallel(&table, Parallelism::threads(threads)),
+                &reference,
+                "{} threads", threads
+            );
+        }
+        // The raw index form agrees field-for-field with the boundary form.
+        let (mut raw, mut scratch) = (Vec::new(), DetectScratch::default());
+        compiled.check_table_raw_into(&table, &mut raw, &mut scratch);
+        prop_assert_eq!(raw.len(), reference.len());
+        for (r, v) in raw.iter().zip(&reference) {
+            prop_assert_eq!(
+                (r.row, r.statement as usize, r.branch as usize),
+                (v.row, v.statement, v.branch)
+            );
+        }
+        // Cross-table binding: the program stays compiled against `table`
+        // but scans `other`, whose dictionaries assign different (or no)
+        // codes to the training values.
+        prop_assert_eq!(
+            compiled.check_table(&other),
+            compiled.check_table_reference(&other)
+        );
+    }
+
+    #[test]
+    fn vectorized_rectify_matches_reference(
+        table in arb_table(120),
+        other in arb_table(80),
+        program in arb_program(),
+    ) {
+        for threads in [1usize, 3] {
+            let (mut vec_t, mut ref_t) = (table.clone(), table.clone());
+            let compiled = program.compile_for(&table).unwrap();
+            let vec_changed = compiled.rectify_table_parallel(&mut vec_t, Parallelism::threads(threads));
+            let ref_changed = compiled.rectify_table_reference(&mut ref_t);
+            prop_assert_eq!(vec_changed, ref_changed, "{} threads: change count", threads);
+            assert_same_cells(&vec_t, &ref_t, &format!("rectify, {threads} threads"));
+        }
+        // Cross-table rectify: writes intern literals into the scanned
+        // table's dictionary, not the compile-time one.
+        let (mut vec_t, mut ref_t) = (other.clone(), other.clone());
+        let compiled = program.compile_for(&table).unwrap();
+        let vec_changed = compiled.rectify_table_parallel(&mut vec_t, Parallelism::threads(2));
+        let ref_changed = compiled.rectify_table_reference(&mut ref_t);
+        prop_assert_eq!(vec_changed, ref_changed, "cross-table change count");
+        assert_same_cells(&vec_t, &ref_t, "cross-table rectify");
+    }
+
+    #[test]
+    fn vectorized_coerce_matches_reference(
+        table in arb_table(120),
+        program in arb_program(),
+    ) {
+        let compiled = program.compile_for(&table).unwrap();
+        // Reference: legacy check + the coerce write protocol (null every
+        // violated dependent cell once).
+        let mut ref_t = table.clone();
+        let mut ref_coerced = 0usize;
+        for v in compiled.check_table_reference(&table) {
+            let col_idx = compiled.statements()[v.statement].on_col;
+            let col = ref_t.column_mut(col_idx).unwrap();
+            if col.code(v.row) != NULL_CODE {
+                col.set_code(v.row, NULL_CODE);
+                ref_coerced += 1;
+            }
+        }
+        for threads in [1usize, 4] {
+            let mut vec_t = table.clone();
+            let coerced = compiled.coerce_table_parallel(&mut vec_t, Parallelism::threads(threads));
+            prop_assert_eq!(coerced, ref_coerced, "{} threads: coerce count", threads);
+            assert_same_cells(&vec_t, &ref_t, &format!("coerce, {threads} threads"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic edge cases (kept out of proptest so they always run).
+// ---------------------------------------------------------------------------
+
+fn table_of(rows: &[[&str; 2]]) -> Table {
+    let mut builder = TableBuilder::new(vec!["a".to_string(), "b".to_string()]);
+    for row in rows {
+        builder
+            .push_row(
+                row.iter()
+                    .map(|s| if s.is_empty() { Value::Null } else { Value::from(*s) })
+                    .collect(),
+            )
+            .unwrap();
+    }
+    builder.finish().unwrap()
+}
+
+fn statement(branches: Vec<(Vec<(&str, Value)>, Value)>) -> Program {
+    Program {
+        statements: vec![Statement {
+            given: vec!["a".to_string()],
+            on: "b".to_string(),
+            branches: branches
+                .into_iter()
+                .map(|(conj, literal)| Branch {
+                    condition: Condition::new(
+                        conj.into_iter().map(|(c, v)| (c.to_string(), v)).collect(),
+                    ),
+                    target: "b".to_string(),
+                    literal,
+                })
+                .collect(),
+        }],
+    }
+}
+
+#[test]
+fn duplicate_condition_branches_emit_one_violation_each() {
+    let table = table_of(&[["x", "p"], ["x", "q"], ["y", "p"]]);
+    // Two branches with the same condition and *different* literals: no
+    // value satisfies both, so every matching row violates at least one.
+    let program = statement(vec![
+        (vec![("a", Value::from("x"))], Value::from("p")),
+        (vec![("a", Value::from("x"))], Value::from("q")),
+    ]);
+    let compiled = program.compile_for(&table).unwrap();
+    let violations = compiled.check_table(&table);
+    assert_eq!(violations, compiled.check_table_reference(&table));
+    // Rows 0 and 1 each violate exactly one of the two branches.
+    assert_eq!(violations.len(), 2);
+    assert_eq!((violations[0].row, violations[0].branch), (0, 1));
+    assert_eq!((violations[1].row, violations[1].branch), (1, 0));
+}
+
+#[test]
+fn null_determinants_match_null_conditions_only() {
+    let table = table_of(&[["", "p"], ["x", "p"], ["", "q"]]);
+    let program = statement(vec![(vec![("a", Value::Null)], Value::from("p"))]);
+    let compiled = program.compile_for(&table).unwrap();
+    let violations = compiled.check_table(&table);
+    assert_eq!(violations, compiled.check_table_reference(&table));
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].row, 2);
+}
+
+#[test]
+fn uninterned_expected_literal_flags_every_matching_row() {
+    let table = table_of(&[["x", "p"], ["x", "q"]]);
+    let program = statement(vec![(vec![("a", Value::from("x"))], Value::from("ghost"))]);
+    let compiled = program.compile_for(&table).unwrap();
+    let violations = compiled.check_table(&table);
+    assert_eq!(violations, compiled.check_table_reference(&table));
+    assert_eq!(violations.len(), 2, "ghost is interned nowhere: both rows disagree");
+}
+
+#[test]
+fn contradictory_repeated_conjunct_matches_nothing() {
+    let table = table_of(&[["x", "p"], ["y", "q"]]);
+    let program =
+        statement(vec![(vec![("a", Value::from("x")), ("a", Value::from("y"))], Value::from("p"))]);
+    let compiled = program.compile_for(&table).unwrap();
+    assert!(compiled.check_table(&table).is_empty());
+    assert!(compiled.check_table_reference(&table).is_empty());
+}
+
+#[test]
+fn codes_minted_after_compile_match_no_branch() {
+    // Compile against a table, then scan a second table where the branch's
+    // determinant value has a different code and extra values exist beyond
+    // the training dictionary (the alien digit).
+    let train = table_of(&[["x", "p"], ["y", "q"]]);
+    let program = statement(vec![(vec![("a", Value::from("x"))], Value::from("p"))]);
+    let compiled = program.compile_for(&train).unwrap();
+    let serve = table_of(&[["z", "p"], ["y", "r"], ["x", "q"]]);
+    assert_eq!(compiled.check_table(&serve), compiled.check_table_reference(&serve));
+}
