@@ -22,6 +22,7 @@ use guardrail_table::SplitSpec;
 use std::sync::Arc;
 
 fn main() {
+    let _trace = guardrail_bench::arm_from_env();
     let cfg = HarnessConfig::from_args();
     banner(
         "Figure 6 — rectifying data errors in ML-integrated queries",

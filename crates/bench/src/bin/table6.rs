@@ -12,6 +12,7 @@ use guardrail_sqlexec::{Catalog, Executor};
 use std::sync::Arc;
 
 fn main() {
+    let _trace = guardrail_bench::arm_from_env();
     let cfg = HarnessConfig::from_args();
     banner(
         "Table 6 — runtime overhead (seconds) and breakdown",

@@ -1,0 +1,89 @@
+//! Validates a Chrome-trace JSON file produced by `guardrail --trace-out`
+//! (or assembled from a `GUARDRAIL_TRACE` JSONL stream).
+//!
+//! ```text
+//! trace_check <trace.json> [required-span-name ...]
+//! ```
+//!
+//! Checks, in order: the file parses with the workspace's own JSON parser
+//! (the one `bench_diff` uses for `results/bench/*.jsonl`, keeping the two
+//! schemas honest against each other), `traceEvents` is present, every
+//! begin (`B`) event has a matching end (`E`) in LIFO order per thread, and
+//! each required span name occurs at least once. Exits non-zero with a
+//! description on the first failure — CI's trace smoke step gates on this.
+
+use guardrail_obs::json::{self, Json};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((path, required)) = args.split_first() else {
+        eprintln!("usage: trace_check <trace.json> [required-span-name ...]");
+        return ExitCode::from(2);
+    };
+    match validate(path, required) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("trace_check: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn validate(path: &str, required: &[String]) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let root = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events =
+        root.get("traceEvents").and_then(Json::as_arr).ok_or("missing traceEvents array")?;
+
+    // Per-thread LIFO check: spans must nest, exactly as Perfetto renders
+    // them.
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or(format!("event {i}: missing ph"))?;
+        let name =
+            ev.get("name").and_then(Json::as_str).ok_or(format!("event {i}: missing name"))?;
+        let tid = ev.get("tid").and_then(Json::as_u64).ok_or(format!("event {i}: missing tid"))?;
+        match ph {
+            "B" => {
+                stacks.entry(tid).or_default().push(name.to_string());
+                *seen.entry(name.to_string()).or_default() += 1;
+                spans += 1;
+            }
+            "E" => {
+                let top = stacks.entry(tid).or_default().pop();
+                if top.as_deref() != Some(name) {
+                    return Err(format!(
+                        "event {i}: E {name:?} on tid {tid} does not close {top:?}"
+                    ));
+                }
+            }
+            "C" => counters += 1,
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid}: {} span(s) never closed: {stack:?}", stack.len()));
+        }
+    }
+    for want in required {
+        if !seen.contains_key(want) {
+            let mut have: Vec<&String> = seen.keys().collect();
+            have.sort();
+            return Err(format!("required span {want:?} absent (have: {have:?})"));
+        }
+    }
+    Ok(format!(
+        "ok: {spans} span(s), {counters} counter sample(s), {} distinct name(s), {} thread(s)",
+        seen.len(),
+        stacks.len()
+    ))
+}

@@ -15,7 +15,9 @@ pub mod prep;
 pub mod printing;
 pub mod queries;
 pub mod reference;
+pub mod trace;
 
 pub use config::HarnessConfig;
 pub use prep::{prepare, PreparedDataset};
 pub use printing::{fmt_metric, fmt_opt};
+pub use trace::{arm_from_env, TraceGuard};

@@ -1,0 +1,55 @@
+//! Opt-in tracing for the bench binaries.
+//!
+//! Setting `GUARDRAIL_TRACE=/path/to/events.jsonl` before any bench binary
+//! streams the run's span/counter events to that file in the same JSONL
+//! schema the CLI's `--trace-out` recorder and `bench_diff`'s result records
+//! share — one parser ([`guardrail_obs::json`]) reads both, so traces can
+//! sit next to `results/bench/*.jsonl` and be post-processed by the same
+//! tooling.
+
+use guardrail_obs as obs;
+use std::sync::Arc;
+
+/// Environment variable naming the JSONL file to stream trace events to.
+pub const TRACE_ENV: &str = "GUARDRAIL_TRACE";
+
+/// Arms the global recorder from [`TRACE_ENV`], if set. Returns the
+/// recorder so callers can [`flush`](TraceGuard::flush) it (dropping the
+/// guard flushes too); `None` when tracing was not requested or the file
+/// could not be opened (reported to stderr, never fatal — observability
+/// must not fail the benchmark).
+pub fn arm_from_env() -> Option<TraceGuard> {
+    let path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty())?;
+    match obs::JsonlRecorder::create(&path) {
+        Ok(recorder) => {
+            let recorder = Arc::new(recorder);
+            obs::install(recorder.clone());
+            eprintln!("tracing to {path}");
+            Some(TraceGuard { recorder })
+        }
+        Err(e) => {
+            eprintln!("cannot open {TRACE_ENV}={path}: {e}; tracing disabled");
+            None
+        }
+    }
+}
+
+/// Keeps the armed [`obs::JsonlRecorder`] alive for the benchmark's
+/// duration; dropping it disarms the global recorder and flushes the file.
+pub struct TraceGuard {
+    recorder: Arc<obs::JsonlRecorder>,
+}
+
+impl TraceGuard {
+    /// Flushes buffered events to disk.
+    pub fn flush(&self) {
+        self.recorder.flush();
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        obs::uninstall();
+        self.recorder.flush();
+    }
+}

@@ -5,6 +5,7 @@ use crate::report::{ApplyReport, DetectionReport};
 use crate::scheme::{ErrorScheme, RowOutcome};
 use guardrail_dsl::{CompiledProgram, Program, Violation};
 use guardrail_governor::{Budget, DegradationReport, Parallelism};
+use guardrail_obs::{self as obs, PipelineReport};
 use guardrail_synth::{synthesize_governed, SynthesisConfig, SynthesisOutcome};
 use guardrail_table::{Row, Table, Value};
 
@@ -23,6 +24,10 @@ pub struct BatchVet {
     /// All violations, ordered by row (indices into `table`, i.e. positions
     /// in the caller's row list), then statement, then branch.
     pub violations: Vec<Violation>,
+    /// How many program statements fell back to the legacy row-at-a-time
+    /// interpreter (decision-table key space past the enumeration cap).
+    /// Zero when every statement ran vectorized, and for the empty program.
+    pub legacy_statements: usize,
 }
 
 /// A rectification ambiguity: several matching branches disagree about the
@@ -171,8 +176,10 @@ impl Guardrail {
             truncated: false,
             chosen_dag: None,
             cache_stats: Default::default(),
+            oracle_cache: Default::default(),
             statements: Vec::new(),
             degradation: DegradationReport::complete(),
+            report: Default::default(),
         };
         Self { outcome, parallelism: Parallelism::Auto }
     }
@@ -197,14 +204,24 @@ impl Guardrail {
         &self.outcome.degradation
     }
 
+    /// The fit's stage-tree report: wall time, work units, and cache ratios
+    /// per pipeline stage, plus governor degradations. Always populated by
+    /// a fit (recorder or not); empty for [`Guardrail::from_program`].
+    pub fn report(&self) -> &PipelineReport {
+        &self.outcome.report
+    }
+
     /// Detects violations across `table` (Eqn. 1 applied row-wise). Row
     /// chunks are scanned on worker threads per the fit-time
     /// [`Parallelism`]; the report is bit-identical for any worker count.
     pub fn detect(&self, table: &Table) -> DetectionReport {
+        let mut detect_span = obs::span("detect");
+        detect_span.arg("rows", table.num_rows() as u64);
         let violations = match self.compile(table) {
             Some(compiled) => compiled.check_table_parallel(table, self.parallelism),
             None => Vec::new(),
         };
+        detect_span.arg("violations", violations.len() as u64);
         DetectionReport { violations, rows_checked: table.num_rows() }
     }
 
@@ -273,17 +290,19 @@ impl Guardrail {
     /// lacks — compilation is all-or-nothing while the value-level hook
     /// degrades per statement, so that regime must keep the per-row path.
     pub fn vet_rows(&self, table: &Table, rows: &[usize], scheme: ErrorScheme) -> Option<BatchVet> {
+        let mut vet_span = obs::span("vet_rows");
+        vet_span.arg("rows", rows.len() as u64);
         let mut sub = table.take(rows);
         let Some(compiled) = self.compile(&sub) else {
             // An empty program vets trivially; a program that does not bind
             // to this schema does not.
-            return self
-                .outcome
-                .program
-                .statements
-                .is_empty()
-                .then(|| BatchVet { table: sub, violations: Vec::new() });
+            return self.outcome.program.statements.is_empty().then(|| BatchVet {
+                table: sub,
+                violations: Vec::new(),
+                legacy_statements: 0,
+            });
         };
+        let legacy_statements = compiled.legacy_statement_count();
         let violations = compiled.check_table_parallel(&sub, self.parallelism);
         match scheme {
             ErrorScheme::Raise | ErrorScheme::Ignore => {}
@@ -294,7 +313,9 @@ impl Guardrail {
                 compiled.rectify_table_parallel(&mut sub, self.parallelism);
             }
         }
-        Some(BatchVet { table: sub, violations })
+        vet_span.arg("violations", violations.len() as u64);
+        vet_span.arg("legacy_statements", legacy_statements as u64);
+        Some(BatchVet { table: sub, violations, legacy_statements })
     }
 
     /// Finds rows where rectification would be ambiguous: two or more

@@ -51,6 +51,7 @@ pub use guardrail_governor::{
     Budget, CancellationToken, Degradation, DegradationReport, ExhaustionReason, Parallelism,
     StageStatus,
 };
+pub use guardrail_obs::{PipelineReport, StageReport};
 pub use guardrail_synth::SynthesisOutcome;
 pub use guardrail_table::TableError;
 

@@ -23,6 +23,7 @@ use crate::ast::{Branch, Program, Statement};
 use crate::engine::{DetectScratch, RawViolation, StatementEngine};
 use crate::error::DslError;
 use guardrail_governor::{parallel_chunks, Parallelism};
+use guardrail_obs as obs;
 use guardrail_table::{Code, Row, Table, Value, NULL_CODE};
 use std::cell::RefCell;
 use std::ops::Range;
@@ -177,6 +178,18 @@ impl CompiledProgram {
         &self.statements
     }
 
+    /// Number of statements in the compiled program.
+    pub fn statement_count(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Number of statements served by the legacy row-at-a-time interpreter
+    /// because their packed key space exceeds the decision-table engine's
+    /// enumeration cap. Zero means every statement runs vectorized.
+    pub fn legacy_statement_count(&self) -> usize {
+        self.engines.iter().filter(|e| e.is_legacy()).count()
+    }
+
     /// All violations across the table (vectorized decision-table scan).
     pub fn check_table(&self, table: &Table) -> Vec<Violation> {
         self.check_table_parallel(table, Parallelism::Sequential)
@@ -188,16 +201,25 @@ impl CompiledProgram {
     /// output bit-identical to the sequential scan for any worker count —
     /// and to [`check_table_reference`](Self::check_table_reference).
     pub fn check_table_parallel(&self, table: &Table, parallelism: Parallelism) -> Vec<Violation> {
+        let mut check_span = obs::span("check_table");
+        check_span.arg("rows", table.num_rows() as u64);
+        check_span.arg("statements", self.statements.len() as u64);
+        check_span.arg("legacy_statements", self.legacy_statement_count() as u64);
         let per_chunk = parallel_chunks(parallelism, table.num_rows(), ROW_CHUNK, &|range| {
+            let mut chunk_span = obs::span("detect_chunk");
+            chunk_span.arg("rows", range.len() as u64);
             SCRATCH.with(|scratch| {
                 let mut scratch = scratch.borrow_mut();
                 let DetectScratch { keys, raw } = &mut *scratch;
                 raw.clear();
                 self.check_chunk_raw(table, range, keys, raw);
+                chunk_span.arg("violations", raw.len() as u64);
                 raw.iter().map(|r| self.raw_to_violation(table, r)).collect::<Vec<_>>()
             })
         });
-        per_chunk.concat()
+        let violations = per_chunk.concat();
+        check_span.arg("violations", violations.len() as u64);
+        violations
     }
 
     /// Allocation-free core of the vectorized scan: fills `out` with the
@@ -213,13 +235,18 @@ impl CompiledProgram {
         scratch: &mut DetectScratch,
     ) {
         out.clear();
+        let mut check_span = obs::span("check_table");
+        check_span.arg("rows", table.num_rows() as u64);
         let rows = table.num_rows();
         let mut start = 0;
         while start < rows {
             let end = (start + ROW_CHUNK).min(rows);
+            let mut chunk_span = obs::span("detect_chunk");
+            chunk_span.arg("rows", (end - start) as u64);
             self.check_chunk_raw(table, start..end, &mut scratch.keys, out);
             start = end;
         }
+        check_span.arg("violations", out.len() as u64);
     }
 
     /// Scans one row chunk statement-by-statement, then sorts the appended
@@ -371,6 +398,10 @@ impl CompiledProgram {
     /// [`rectify_table_reference`](Self::rectify_table_reference) for any
     /// worker count.
     pub fn rectify_table_parallel(&self, table: &mut Table, parallelism: Parallelism) -> usize {
+        let mut rect_span = obs::span("rectify_table");
+        rect_span.arg("rows", table.num_rows() as u64);
+        rect_span.arg("statements", self.statements.len() as u64);
+        rect_span.arg("legacy_statements", self.legacy_statement_count() as u64);
         let mut changed = 0;
         for (s, engine) in self.statements.iter().zip(&self.engines) {
             let branch_codes = Self::intern_branch_codes(s, table);
@@ -382,6 +413,8 @@ impl CompiledProgram {
             let per_chunk: Vec<(usize, Vec<(usize, Code)>)> = {
                 let snapshot: &Table = table;
                 parallel_chunks(parallelism, snapshot.num_rows(), ROW_CHUNK, &|range| {
+                    let mut chunk_span = obs::span("rectify_chunk");
+                    chunk_span.arg("rows", range.len() as u64);
                     SCRATCH.with(|scratch| {
                         let mut scratch = scratch.borrow_mut();
                         let mut writes: Vec<(usize, Code)> = Vec::new();
@@ -393,6 +426,7 @@ impl CompiledProgram {
                             &mut scratch.keys,
                             &mut writes,
                         );
+                        chunk_span.arg("cells_changed", delta as u64);
                         (delta, writes)
                     })
                 })
@@ -405,6 +439,7 @@ impl CompiledProgram {
                 }
             }
         }
+        rect_span.arg("cells_changed", changed as u64);
         changed
     }
 
@@ -485,6 +520,8 @@ impl CompiledProgram {
     /// worker threads; the null writes themselves are a cheap sequential
     /// pass over the (deterministically ordered) violation list.
     pub fn coerce_table_parallel(&self, table: &mut Table, parallelism: Parallelism) -> usize {
+        let mut coerce_span = obs::span("coerce_table");
+        coerce_span.arg("rows", table.num_rows() as u64);
         let violations = self.check_table_parallel(table, parallelism);
         let mut coerced = 0;
         for v in violations {
@@ -495,6 +532,7 @@ impl CompiledProgram {
                 coerced += 1;
             }
         }
+        coerce_span.arg("cells_coerced", coerced as u64);
         coerced
     }
 }

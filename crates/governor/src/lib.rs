@@ -282,8 +282,11 @@ pub enum StageStatus {
 }
 
 impl StageStatus {
-    /// Builds a `Degraded` status for `stage` from a budget error.
+    /// Builds a `Degraded` status for `stage` from a budget error. Every
+    /// degradation bumps the `governor.degradations` trace counter, so an
+    /// armed recorder sees budget cuts inline with the stage spans.
     pub fn degraded(stage: &'static str, err: Exhausted) -> Self {
+        guardrail_obs::count("governor.degradations", 1);
         StageStatus::Degraded(Degradation { stage, reason: err.reason, work_done: err.work_done })
     }
 

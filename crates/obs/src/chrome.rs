@@ -1,0 +1,113 @@
+//! Chrome-trace (Trace Event Format) export.
+//!
+//! Produces the JSON object `chrome://tracing` and [Perfetto] open
+//! directly: a `traceEvents` array of duration (`"B"`/`"E"`) events with
+//! microsecond timestamps, one lane per thread, plus counter (`"C"`)
+//! events. Span args attached via [`crate::Span::arg`] appear on the end
+//! event and show up in the Perfetto span-details panel.
+//!
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::event::Event;
+use crate::json::escape;
+use std::fmt::Write as _;
+
+/// The `pid` every lane reports (single-process tracing).
+const PID: u64 = 1;
+
+/// Renders `events` (in emission order) as a complete Chrome-trace JSON
+/// document.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for event in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        match event {
+            Event::SpanStart { tid, name, t_ns, .. } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"B\",\"pid\":{PID},\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\
+                     \"cat\":\"guardrail\"}}",
+                    micros(*t_ns),
+                    escape(name)
+                );
+            }
+            Event::SpanEnd { tid, name, t_ns, args, .. } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"E\",\"pid\":{PID},\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\
+                     \"cat\":\"guardrail\",\"args\":{{",
+                    micros(*t_ns),
+                    escape(name)
+                );
+                for (i, (key, value)) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":{value}", escape(key));
+                }
+                out.push_str("}}");
+            }
+            Event::Counter { name, tid, value, t_ns } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"C\",\"pid\":{PID},\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\
+                     \"cat\":\"guardrail\",\"args\":{{\"value\":{value}}}}}",
+                    micros(*t_ns),
+                    escape(name)
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Trace-event timestamps are microseconds; keep nanosecond precision as a
+/// fraction.
+fn micros(t_ns: u64) -> String {
+    format!("{}.{:03}", t_ns / 1_000, t_ns % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    #[test]
+    fn export_is_valid_json_with_balanced_phases() {
+        let events = vec![
+            Event::SpanStart { id: 1, parent: 0, tid: 1, name: "fit", t_ns: 1_000 },
+            Event::SpanStart { id: 2, parent: 1, tid: 1, name: "pc_level", t_ns: 2_500 },
+            Event::Counter { name: "ci_tests", tid: 1, value: 12, t_ns: 3_000 },
+            Event::SpanEnd {
+                id: 2,
+                tid: 1,
+                name: "pc_level",
+                t_ns: 4_000,
+                args: vec![("edges", 6)],
+            },
+            Event::SpanEnd { id: 1, tid: 1, name: "fit", t_ns: 9_999, args: vec![] },
+        ];
+        let doc = parse(&chrome_trace(&events)).unwrap();
+        let trace_events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(trace_events.len(), events.len());
+        let phase = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap().to_string();
+        let begins = trace_events.iter().filter(|e| phase(e) == "B").count();
+        let ends = trace_events.iter().filter(|e| phase(e) == "E").count();
+        assert_eq!(begins, ends);
+        // Microsecond timestamps with the ns remainder as fraction.
+        assert_eq!(trace_events[0].get("ts").and_then(Json::as_num), Some(1.0));
+        assert_eq!(trace_events[1].get("ts").and_then(Json::as_num), Some(2.5));
+        // Args survive on the end event.
+        assert_eq!(
+            trace_events[3].get("args").and_then(|a| a.get("edges")).and_then(Json::as_u64),
+            Some(6)
+        );
+    }
+}

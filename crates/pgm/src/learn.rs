@@ -2,10 +2,11 @@
 
 use crate::aux::auxiliary_sample;
 use crate::encode::EncodedData;
-use crate::oracle::DataOracle;
+use crate::oracle::{DataOracle, StatsCacheStats};
 use crate::pc::{pc_algorithm_governed, PcConfig};
 use guardrail_governor::{Budget, Parallelism, StageStatus};
 use guardrail_graph::Pdag;
+use guardrail_obs as obs;
 use guardrail_table::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,17 +70,28 @@ impl Default for LearnConfig {
     }
 }
 
+/// What budgeted structure learning hands back: the CPDAG, how the stage
+/// ended, and the oracle's sufficient-statistics cache counters — captured
+/// here because the oracle itself is dropped when learning returns (before
+/// this type existed the counters died unread).
+#[derive(Debug, Clone)]
+pub struct LearnOutcome {
+    /// The learned CPDAG.
+    pub cpdag: Pdag,
+    /// Whether the CI-test loop completed or ran out of budget.
+    pub status: StageStatus,
+    /// Sufficient-statistics cache counters of the run's oracle (zeros for
+    /// hill climbing, which keeps no such cache).
+    pub cache_stats: StatsCacheStats,
+}
+
 /// Learns the CPDAG of `table`'s Markov equivalence class.
 pub fn learn_cpdag(table: &Table, config: &LearnConfig) -> Pdag {
-    learn_cpdag_governed(table, config, &Budget::unlimited()).0
+    learn_cpdag_governed(table, config, &Budget::unlimited()).cpdag
 }
 
 /// Budgeted [`learn_cpdag`]: the budget governs the CI-test loop of PC.
-pub fn learn_cpdag_governed(
-    table: &Table,
-    config: &LearnConfig,
-    budget: &Budget,
-) -> (Pdag, StageStatus) {
+pub fn learn_cpdag_governed(table: &Table, config: &LearnConfig, budget: &Budget) -> LearnOutcome {
     let encoded = EncodedData::from_table(table);
     learn_cpdag_encoded_governed(&encoded, config, budget)
 }
@@ -87,7 +99,7 @@ pub fn learn_cpdag_governed(
 /// Learns a CPDAG from pre-encoded data (entry point shared with the FDX
 /// baseline, which reuses the auxiliary sampler).
 pub fn learn_cpdag_encoded(encoded: &EncodedData, config: &LearnConfig) -> Pdag {
-    learn_cpdag_encoded_governed(encoded, config, &Budget::unlimited()).0
+    learn_cpdag_encoded_governed(encoded, config, &Budget::unlimited()).cpdag
 }
 
 /// Budgeted [`learn_cpdag_encoded`]. Hill climbing converges under its own
@@ -97,15 +109,20 @@ pub fn learn_cpdag_encoded_governed(
     encoded: &EncodedData,
     config: &LearnConfig,
     budget: &Budget,
-) -> (Pdag, StageStatus) {
+) -> LearnOutcome {
+    let mut learn_span = obs::span("structure_learning");
+    learn_span.arg("rows", encoded.num_rows() as u64);
+    learn_span.arg("attrs", encoded.num_attrs() as u64);
     let (view, scale) = match config.sampler {
         Sampler::Identity => (encoded.clone(), 1.0),
         Sampler::Auxiliary => {
             if encoded.num_rows() < 2 {
                 (encoded.clone(), 1.0)
             } else {
+                let mut aux_span = obs::span("auxiliary_sample");
                 let mut rng = StdRng::seed_from_u64(config.seed);
                 let aux = auxiliary_sample(encoded, config.aux_pairs, &mut rng);
+                aux_span.arg("pairs", aux.num_rows() as u64);
                 // Circular-shift pairs overlap in source rows; correct the
                 // test's effective sample size accordingly.
                 let scale = (encoded.num_rows() as f64 / aux.num_rows() as f64).min(1.0);
@@ -117,22 +134,24 @@ pub fn learn_cpdag_encoded_governed(
         Algorithm::PcStable => {
             let oracle =
                 DataOracle::new(&view).with_alpha(config.alpha).with_statistic_scale(scale);
-            pc_algorithm_governed(
+            let (cpdag, status) = pc_algorithm_governed(
                 &oracle,
                 PcConfig { max_cond_size: config.max_cond_size, parallelism: config.parallelism },
                 budget,
-            )
+            );
+            LearnOutcome { cpdag, status, cache_stats: oracle.cache_stats() }
         }
-        Algorithm::HillClimbBic => (
-            crate::hillclimb::hill_climb_cpdag(
+        Algorithm::HillClimbBic => LearnOutcome {
+            cpdag: crate::hillclimb::hill_climb_cpdag(
                 &view,
                 &crate::hillclimb::HillClimbConfig {
                     max_parents: config.max_parents,
                     ..Default::default()
                 },
             ),
-            StageStatus::Complete,
-        ),
+            status: StageStatus::Complete,
+            cache_stats: StatsCacheStats::default(),
+        },
     }
 }
 

@@ -36,8 +36,8 @@ pub use encode::EncodedData;
 pub use hillclimb::{hill_climb_cpdag, hill_climb_dag, HillClimbConfig};
 pub use learn::{
     learn_cpdag, learn_cpdag_encoded, learn_cpdag_encoded_governed, learn_cpdag_governed,
-    Algorithm, LearnConfig, Sampler,
+    Algorithm, LearnConfig, LearnOutcome, Sampler,
 };
-pub use oracle::{DagOracle, DataOracle, IndependenceOracle, SlowOracle};
+pub use oracle::{DagOracle, DataOracle, IndependenceOracle, SlowOracle, StatsCacheStats};
 pub use pc::{pc_algorithm, pc_algorithm_governed, PcConfig, PC_STAGE};
 pub use score::BicScorer;

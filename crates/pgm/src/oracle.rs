@@ -23,6 +23,14 @@ pub trait IndependenceOracle: Sync {
 
     /// Number of variables.
     fn num_vars(&self) -> usize;
+
+    /// Snapshot of the oracle's sufficient-statistics cache counters, when
+    /// it keeps one. The default (for cacheless oracles like [`DagOracle`])
+    /// reports zeros; the PC driver subtracts per-level snapshots to
+    /// attribute cache hits to levels, so a constant answer is correct.
+    fn cache_stats(&self) -> StatsCacheStats {
+        StatsCacheStats::default()
+    }
 }
 
 /// Counters of the [`StatsCache`], readable while the oracle is in use.
@@ -310,6 +318,10 @@ impl IndependenceOracle for DataOracle<'_> {
     fn num_vars(&self) -> usize {
         self.data.num_attrs()
     }
+
+    fn cache_stats(&self) -> StatsCacheStats {
+        DataOracle::cache_stats(self)
+    }
 }
 
 impl DataOracle<'_> {
@@ -379,6 +391,10 @@ impl<O: IndependenceOracle> IndependenceOracle for SlowOracle<O> {
 
     fn num_vars(&self) -> usize {
         self.inner.num_vars()
+    }
+
+    fn cache_stats(&self) -> StatsCacheStats {
+        self.inner.cache_stats()
     }
 }
 

@@ -15,6 +15,7 @@
 use crate::oracle::IndependenceOracle;
 use guardrail_governor::{parallel_map, Budget, Exhausted, Parallelism, StageStatus};
 use guardrail_graph::{NodeSet, Pdag};
+use guardrail_obs as obs;
 use std::collections::HashMap;
 
 /// Stage name reported when the CI-test loop runs out of budget.
@@ -72,6 +73,9 @@ pub fn pc_algorithm_governed<O: IndependenceOracle>(
         .collect();
     let mut sepsets: HashMap<(usize, usize), NodeSet> = HashMap::new();
 
+    let mut pc_span = obs::span(PC_STAGE);
+    pc_span.arg("vars", n as u64);
+
     // Phase 1: skeleton.
     let status = match refine_skeleton(oracle, config, budget, &mut adj, &mut sepsets) {
         Ok(()) => StageStatus::Complete,
@@ -79,6 +83,7 @@ pub fn pc_algorithm_governed<O: IndependenceOracle>(
     };
 
     // Phase 2: v-structures.
+    let orient_span = obs::span("pc_orient");
     let mut pdag = Pdag::new(n);
     for (x, neighbors) in adj.iter().enumerate() {
         for y in neighbors.iter() {
@@ -115,6 +120,8 @@ pub fn pc_algorithm_governed<O: IndependenceOracle>(
 
     // Phase 3: Meek closure.
     pdag.meek_closure();
+    drop(orient_span);
+    pc_span.arg("edges_kept", (pdag.num_directed_edges() + pdag.num_undirected_edges()) as u64);
     (pdag, status)
 }
 
@@ -127,6 +134,8 @@ struct PairOutcome {
     remove_with: Option<NodeSet>,
     /// The budget tripped during this pair's tests.
     exhausted: Option<Exhausted>,
+    /// CI tests this pair issued (work-unit accounting for the level span).
+    tests: u64,
 }
 
 /// Level-wise PC-stable skeleton refinement, charging `budget` one unit per
@@ -156,12 +165,26 @@ fn refine_skeleton<O: IndependenceOracle>(
             pairs.extend(neighbors.iter().filter(|&y| y > x).map(|y| (x, y)));
         }
 
+        // One span per level, with the level's CI-test volume and the
+        // stats-cache hit delta attached (snapshot-before minus
+        // snapshot-after attributes shared-cache hits to the level that
+        // earned them).
+        let mut level_span = obs::span("pc_level");
+        let cache_before = if level_span.is_armed() {
+            level_span.arg("level", level as u64);
+            level_span.arg("edges_tested", pairs.len() as u64);
+            Some(oracle.cache_stats())
+        } else {
+            None
+        };
+
         let outcomes = parallel_map(config.parallelism, &pairs, &|&(x, y)| {
             test_pair(oracle, &snapshot, x, y, level, budget)
         });
 
         // Deterministic merge in pair order.
         let mut any_candidate = false;
+        let mut removed = 0u64;
         let mut exhausted: Option<Exhausted> = None;
         for (&(x, y), outcome) in pairs.iter().zip(&outcomes) {
             any_candidate |= outcome.any_candidate;
@@ -169,11 +192,20 @@ fn refine_skeleton<O: IndependenceOracle>(
                 adj[x].remove(y);
                 adj[y].remove(x);
                 sepsets.insert(key(x, y), s);
+                removed += 1;
             }
             if exhausted.is_none() {
                 exhausted.clone_from(&outcome.exhausted);
             }
         }
+        if let Some(before) = cache_before {
+            let after = oracle.cache_stats();
+            level_span.arg("ci_tests", outcomes.iter().map(|o| o.tests).sum());
+            level_span.arg("edges_removed", removed);
+            level_span.arg("cache_hits", after.result_hits - before.result_hits);
+            level_span.arg("cache_misses", after.result_misses - before.result_misses);
+        }
+        drop(level_span);
         if let Some(e) = exhausted {
             return Err(e);
         }
@@ -207,6 +239,7 @@ fn test_pair<O: IndependenceOracle>(
                 out.exhausted = Some(e);
                 return out;
             }
+            out.tests += 1;
             if oracle.independent(a, b, s) {
                 out.remove_with = Some(s);
                 return out;

@@ -29,6 +29,11 @@ pub struct ExecutionStats {
     pub inference_nanos: u128,
     /// Constraint violations encountered.
     pub violations: usize,
+    /// Program statements served by the legacy row-at-a-time interpreter
+    /// during batched vetting (decision-table key space past the engine's
+    /// enumeration cap). Zero when every statement ran vectorized, and on
+    /// the per-row fallback path (which never compiles an engine).
+    pub engine_fallback_statements: usize,
 }
 
 impl fmt::Display for ExecutionStats {
@@ -42,10 +47,11 @@ impl fmt::Display for ExecutionStats {
         )?;
         writeln!(
             f,
-            "  Guardrail: vetted {} rows, {} violations, {:.3} ms",
+            "  Guardrail: vetted {} rows, {} violations, {:.3} ms ({} legacy-interpreter statements)",
             self.rows_vetted,
             self.violations,
-            self.guardrail_nanos as f64 / 1e6
+            self.guardrail_nanos as f64 / 1e6,
+            self.engine_fallback_statements
         )?;
         writeln!(
             f,
@@ -171,6 +177,8 @@ impl<'a> Executor<'a> {
             .catalog
             .table(&query.from)
             .ok_or_else(|| SqlError::UnknownTable(query.from.clone()))?;
+        let mut query_span = guardrail_obs::span("run_query");
+        query_span.arg("rows_scanned", base.num_rows() as u64);
         let mut stats =
             ExecutionStats { rows_scanned: base.num_rows(), ..ExecutionStats::default() };
 
@@ -227,6 +235,7 @@ impl<'a> Executor<'a> {
                 if let Some(batch) = batch {
                     stats.rows_vetted += surviving.len();
                     stats.violations += batch.violations.len();
+                    stats.engine_fallback_statements += batch.legacy_statements;
                     if matches!(scheme, ErrorScheme::Raise) {
                         // Violations are row-ordered, so the first one is on
                         // the first dirty row — where the per-row hook would
@@ -434,6 +443,9 @@ impl<'a> Executor<'a> {
             table = table.head(limit);
         }
 
+        query_span.arg("rows_vetted", stats.rows_vetted as u64);
+        query_span.arg("violations", stats.violations as u64);
+        query_span.arg("predictions", stats.predictions as u64);
         Ok(QueryOutput { table, stats })
     }
 }

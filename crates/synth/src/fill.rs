@@ -14,6 +14,7 @@
 use crate::sketch::{ProgramSketch, StatementSketch};
 use guardrail_dsl::ast::{Branch, Condition, Program, Statement};
 use guardrail_governor::{parallel_map, Budget, Exhausted, Parallelism, StageStatus};
+use guardrail_obs as obs;
 use guardrail_table::{Table, NULL_CODE};
 use std::collections::HashMap;
 
@@ -66,6 +67,8 @@ pub fn fill_statement_sketch_governed(
     if n == 0 {
         return Ok(None);
     }
+    let mut fill_span = obs::span("fill_statement");
+    fill_span.arg("rows", n as u64);
     let det_cols: Vec<&[u32]> = sketch
         .given
         .iter()
@@ -146,6 +149,8 @@ pub fn fill_statement_sketch_governed(
         budget.charge(pending)?;
     }
     ordered.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+    let candidate_groups = ordered.len();
+    fill_span.arg("candidate_groups", candidate_groups as u64);
 
     let schema = table.schema();
     let name = |i: usize| schema.field(i).expect("in range").name().to_string();
@@ -182,6 +187,8 @@ pub fn fill_statement_sketch_governed(
         total_loss += loss;
     }
 
+    fill_span.arg("branches_kept", branches.len() as u64);
+    fill_span.arg("branches_pruned", (candidate_groups - branches.len()) as u64);
     if branches.is_empty() {
         return Ok(None);
     }

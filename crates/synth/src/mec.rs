@@ -24,8 +24,10 @@ use crate::sketch::ProgramSketch;
 use guardrail_dsl::ast::Program;
 use guardrail_governor::{parallel_map, Budget, DegradationReport, Parallelism, StageStatus};
 use guardrail_graph::{enumerate_extensions, Dag, Pdag};
-use guardrail_pgm::learn_cpdag_governed;
+use guardrail_obs::{self as obs, PipelineReport, StageReport};
+use guardrail_pgm::{learn_cpdag_governed, StatsCacheStats};
 use guardrail_table::Table;
+use std::time::Instant;
 
 /// Result of an end-to-end synthesis run.
 #[derive(Debug, Clone)]
@@ -44,11 +46,18 @@ pub struct SynthesisOutcome {
     pub chosen_dag: Option<Dag>,
     /// Statement-cache counters for the run.
     pub cache_stats: CacheStats,
+    /// Sufficient-statistics cache counters from structure learning (zeros
+    /// when synthesis started from a pre-learned CPDAG).
+    pub oracle_cache: StatsCacheStats,
     /// Per-statement fill statistics of the winning program.
     pub statements: Vec<FilledStatement>,
     /// Which pipeline stages (if any) ran out of budget. An exhausted run is
     /// not an error: `program` is the best result found so far.
     pub degradation: DegradationReport,
+    /// Deterministic stage-tree report of the run — wall times, work units,
+    /// cache ratios, and degradations — built from the pipeline's own
+    /// timings whether or not a tracing recorder is armed.
+    pub report: PipelineReport,
 }
 
 /// Learns a CPDAG from `table` and synthesizes the optimal program (sketch
@@ -66,13 +75,49 @@ pub fn synthesize_governed(
     config: &SynthesisConfig,
     budget: &Budget,
 ) -> SynthesisOutcome {
+    let run_clock = Instant::now();
+    let work_before = budget.work_done();
+    let mut run_span = obs::span("synthesis");
+    run_span.arg("rows", table.num_rows() as u64);
+
     let mut degradation = DegradationReport::complete();
-    let (cpdag, learn_status) = learn_cpdag_governed(table, &config.learn, budget);
-    degradation.record(learn_status);
-    let mut outcome = synthesize_from_cpdag_governed(table, &cpdag, config, budget);
+    let learn_clock = Instant::now();
+    let learned = learn_cpdag_governed(table, &config.learn, budget);
+    let learn_ns = learn_clock.elapsed().as_nanos() as u64;
+    degradation.record(learned.status);
+
+    let mut outcome = synthesize_from_cpdag_governed(table, &learned.cpdag, config, budget);
     degradation.merge(std::mem::replace(&mut outcome.degradation, DegradationReport::complete()));
+    outcome.oracle_cache = learned.cache_stats;
+
+    // Re-root the report: structure learning first, then the stages the
+    // from-CPDAG pass already timed, all under one `synthesis` node.
+    let cs = learned.cache_stats;
+    let learn_stage = StageReport::new("structure_learning")
+        .wall_ns(learn_ns)
+        .metric("ci_cache_hits", cs.result_hits)
+        .metric("ci_cache_misses", cs.result_misses)
+        .metric("ci_cache_hit_rate", percent(cs.result_hits, cs.result_misses))
+        .metric("pack_extensions", cs.pack_extensions);
+    let mut root = StageReport::new("synthesis").child(learn_stage);
+    root.children.append(&mut outcome.report.stages);
+    root.wall_ns = run_clock.elapsed().as_nanos() as u64;
+    root.metrics.push(("work_units".into(), (budget.work_done() - work_before).to_string()));
+    outcome.report = PipelineReport::new().stage(root);
+    outcome.report.degradations = degradation.stages.iter().map(|d| d.to_string()).collect();
     outcome.degradation = degradation;
+    run_span.arg("work_units", budget.work_done() - work_before);
     outcome
+}
+
+/// Renders a hit/miss pair as a percentage (`"—"` when nothing was
+/// counted).
+fn percent(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        return "—".into();
+    }
+    format!("{:.1}%", hits as f64 * 100.0 / total as f64)
 }
 
 /// Alg. 2 proper: synthesis given an already-learned CPDAG.
@@ -94,9 +139,15 @@ pub fn synthesize_from_cpdag_governed(
     let mut degradation = DegradationReport::complete();
     // Enumeration runs under a child cap so `max_dags` bounds the MEC even
     // on an otherwise unlimited budget (one work unit per accepted DAG).
+    let enum_clock = Instant::now();
+    let mut enum_span = obs::span("mec_enumeration");
     let enum_budget = budget.child(Some(config.max_dags as u64));
     let (dags, enum_status) = enumerate_extensions(cpdag, &enum_budget);
     let truncated = !enum_status.is_complete();
+    enum_span.arg("dags", dags.len() as u64);
+    enum_span.arg("truncated", truncated as u64);
+    drop(enum_span);
+    let enum_ns = enum_clock.elapsed().as_nanos() as u64;
     degradation.record(enum_status);
     let cache = StatementCache::new();
 
@@ -131,8 +182,15 @@ pub fn synthesize_from_cpdag_governed(
         (coverage, filled, status)
     };
 
+    let fill_clock = Instant::now();
+    let mut fill_span = obs::span("sketch_fill");
     let results: Vec<(f64, Vec<FilledStatement>, StageStatus)> =
         parallel_map(config.parallelism, &dags, &fill_dag);
+    fill_span.arg("dags", dags.len() as u64);
+    fill_span.arg("cache_hits", cache.stats().hits as u64);
+    fill_span.arg("cache_misses", cache.stats().misses as u64);
+    drop(fill_span);
+    let fill_ns = fill_clock.elapsed().as_nanos() as u64;
 
     // The budget is shared, so once it exhausts every remaining fill trips
     // on it; reporting the first degraded fill covers the stage.
@@ -162,6 +220,21 @@ pub fn synthesize_from_cpdag_governed(
         None => (0.0, Vec::new(), None),
     };
     let program = Program { statements: statements.iter().map(|f| f.statement.clone()).collect() };
+
+    let cache_stats = cache.stats();
+    let enum_stage = StageReport::new("mec_enumeration")
+        .wall_ns(enum_ns)
+        .metric("dags", dags.len() as u64)
+        .metric("truncated", truncated as u64);
+    let fill_stage = StageReport::new("sketch_fill")
+        .wall_ns(fill_ns)
+        .metric("statements", statements.len() as u64)
+        .metric("stmt_cache_hits", cache_stats.hits as u64)
+        .metric("stmt_cache_misses", cache_stats.misses as u64)
+        .metric("stmt_cache_hit_rate", percent(cache_stats.hits as u64, cache_stats.misses as u64));
+    let mut report = PipelineReport::new().stage(enum_stage).stage(fill_stage);
+    report.degradations = degradation.stages.iter().map(|d| d.to_string()).collect();
+
     SynthesisOutcome {
         program,
         coverage,
@@ -169,9 +242,11 @@ pub fn synthesize_from_cpdag_governed(
         mec_size: dags.len(),
         truncated,
         chosen_dag,
-        cache_stats: cache.stats(),
+        cache_stats,
+        oracle_cache: StatsCacheStats::default(),
         statements,
         degradation,
+        report,
     }
 }
 

@@ -94,6 +94,8 @@ pub fn optsmt_synthesize(table: &Table, config: &OptSmtConfig, budget: &Budget) 
     let rows = table.num_rows() as u64;
     let search_space = candidate_space(attrs, config.max_given_size);
 
+    let mut smt_span = guardrail_obs::span(OPTSMT_STAGE);
+    smt_span.arg("search_space", search_space);
     let mut constraints = 0u64;
     let mut candidates = 0u64;
     // Best ε-valid statement per dependent, by coverage.
@@ -116,6 +118,9 @@ pub fn optsmt_synthesize(table: &Table, config: &OptSmtConfig, budget: &Budget) 
                 let cost = rows.saturating_add(branch_cost);
                 constraints = constraints.saturating_add(cost);
                 if budget.charge(cost).is_err() {
+                    smt_span.arg("candidates", candidates);
+                    smt_span.arg("constraints", constraints);
+                    smt_span.arg("timeout", 1);
                     return OptSmtOutcome::Timeout { constraints, candidates, search_space };
                 }
                 if let Some(f) = filled {
@@ -131,6 +136,8 @@ pub fn optsmt_synthesize(table: &Table, config: &OptSmtConfig, budget: &Budget) 
         }
     }
 
+    smt_span.arg("candidates", candidates);
+    smt_span.arg("constraints", constraints);
     let chosen: Vec<FilledStatement> = best.into_iter().flatten().collect();
     let coverage = if chosen.is_empty() {
         0.0

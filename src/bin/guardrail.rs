@@ -3,7 +3,9 @@
 //! ```text
 //! guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N]
 //!                  [--threads T] [--output constraints.gr]
+//!                  [--report] [--trace-out trace.json]
 //! guardrail check <data.csv> --constraints <constraints.gr>
+//!                  [--report] [--trace-out trace.json]
 //! guardrail repair <data.csv> --constraints <constraints.gr>
 //!                  [--scheme coerce|rectify] [--output fixed.csv]
 //! guardrail structure <data.csv>
@@ -12,9 +14,16 @@
 //! Constraints are stored in the DSL's text syntax, so the files produced by
 //! `synth` are human-readable and hand-editable, and anything parseable by
 //! `guardrail_dsl::parse_program` can be fed back to `check` / `repair`.
+//!
+//! `--report` prints the pipeline's stage-tree report (wall times, work
+//! units, cache hit ratios, degradations) to stderr. `--trace-out FILE`
+//! records the run's span/counter events and writes a Chrome-trace JSON
+//! file that loads directly into Perfetto / `chrome://tracing`.
 
+use guardrail::obs;
 use guardrail::prelude::*;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,8 +51,8 @@ const USAGE: &str = "\
 guardrail — integrity constraint synthesis from noisy data
 
 USAGE:
-  guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N] [--threads T] [--output constraints.gr]
-  guardrail check <data.csv> --constraints <constraints.gr>
+  guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N] [--threads T] [--output constraints.gr] [--report] [--trace-out trace.json]
+  guardrail check <data.csv> --constraints <constraints.gr> [--report] [--trace-out trace.json]
   guardrail repair <data.csv> --constraints <constraints.gr> [--scheme coerce|rectify] [--output fixed.csv]
   guardrail structure <data.csv>
 
@@ -51,27 +60,55 @@ USAGE:
 units; on exhaustion it emits the best program found so far and reports which
 pipeline stage was cut short. --threads pins the worker count (default: one
 per hardware thread; results are identical either way).
-`check` exits 0 when the data is violation-free and 1 when violations were found.";
+`check` exits 0 when the data is violation-free and 1 when violations were found.
+`--report` prints the pipeline stage tree (wall times, cache ratios,
+degradations) to stderr; `--trace-out FILE` writes a Chrome-trace JSON of the
+run, openable in Perfetto.";
 
-/// Pulls `--flag value` out of an argument list; returns (positional, value).
-fn parse_flags(
-    args: &[String],
-    flags: &[&str],
-) -> Result<(Vec<String>, Vec<Option<String>>), String> {
+/// (positional args, `--flag value` values, bare `--switch` states).
+type ParsedArgs = (Vec<String>, Vec<Option<String>>, Vec<bool>);
+
+/// Pulls `--flag value` pairs and bare `--switch` toggles out of an argument
+/// list; returns (positional, values, switch states).
+fn parse_flags(args: &[String], flags: &[&str], switches: &[&str]) -> Result<ParsedArgs, String> {
     let mut positional = Vec::new();
     let mut values: Vec<Option<String>> = vec![None; flags.len()];
+    let mut toggles = vec![false; switches.len()];
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         if let Some(idx) = flags.iter().position(|f| f == arg) {
             let v = iter.next().ok_or_else(|| format!("{arg} needs a value"))?;
             values[idx] = Some(v.clone());
+        } else if let Some(idx) = switches.iter().position(|s| s == arg) {
+            toggles[idx] = true;
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag {arg:?}"));
         } else {
             positional.push(arg.clone());
         }
     }
-    Ok((positional, values))
+    Ok((positional, values, toggles))
+}
+
+/// Arms the global ring recorder when `--trace-out` was given; returns the
+/// ring to drain after the traced work completes.
+fn arm_tracing(trace_out: &Option<String>) -> Option<Arc<obs::RingRecorder>> {
+    trace_out.as_ref().map(|_| {
+        let ring = Arc::new(obs::RingRecorder::with_capacity(1 << 20));
+        obs::install(ring.clone());
+        ring
+    })
+}
+
+/// Drains the ring recorder and writes the Chrome-trace JSON next to
+/// whatever path `--trace-out` named.
+fn write_trace(path: &str, ring: &obs::RingRecorder) -> Result<(), String> {
+    obs::uninstall();
+    let events = ring.take();
+    let trace = obs::chrome_trace(&events);
+    std::fs::write(path, trace).map_err(|e| format!("writing {path:?}: {e}"))?;
+    eprintln!("trace ({} events) written to {path}", events.len());
+    Ok(())
 }
 
 fn load_table(path: &str) -> Result<Table, String> {
@@ -84,8 +121,11 @@ fn load_constraints(path: &str) -> Result<Program, String> {
 }
 
 fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
-    let (pos, flags) =
-        parse_flags(args, &["--epsilon", "--output", "--budget-ms", "--max-work", "--threads"])?;
+    let (pos, flags, switches) = parse_flags(
+        args,
+        &["--epsilon", "--output", "--budget-ms", "--max-work", "--threads", "--trace-out"],
+        &["--report"],
+    )?;
     let [data_path] = pos.as_slice() else {
         return Err("synth needs exactly one CSV path".into());
     };
@@ -113,7 +153,11 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
         let threads: usize = t.parse().map_err(|_| "bad --threads")?;
         builder = builder.parallelism(Parallelism::threads(threads));
     }
+    let ring = arm_tracing(&flags[5]);
     let guard = builder.fit(&table).map_err(|e| e.to_string())?;
+    if let (Some(path), Some(ring)) = (&flags[5], &ring) {
+        write_trace(path, ring)?;
+    }
     let text = guard.program().to_string();
     eprintln!(
         "synthesized {} statement(s) / {} branch(es), coverage {:.3}, MEC size {}",
@@ -122,9 +166,20 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
         guard.coverage(),
         guard.outcome().mec_size,
     );
-    if !guard.degradation().is_complete() {
+    let oracle = guard.outcome().oracle_cache;
+    let stmt = guard.outcome().cache_stats;
+    eprintln!(
+        "caches: CI stats {} hit(s) / {} miss(es), statements {} hit(s) / {} miss(es)",
+        oracle.result_hits, oracle.result_misses, stmt.hits, stmt.misses,
+    );
+    // Degradations come out of the fit's structured report; the stderr
+    // wording is load-bearing for scripts and stays as-is.
+    if !guard.report().is_complete() {
         eprintln!("budget exhausted — emitting best program found so far:");
         eprintln!("{}", guard.degradation());
+    }
+    if switches[0] {
+        eprint!("{}", guard.report());
     }
     match &flags[1] {
         Some(path) => {
@@ -137,14 +192,36 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    let (pos, flags) = parse_flags(args, &["--constraints"])?;
+    let (pos, flags, switches) =
+        parse_flags(args, &["--constraints", "--trace-out"], &["--report"])?;
     let [data_path] = pos.as_slice() else {
         return Err("check needs exactly one CSV path".into());
     };
     let constraints = flags[0].as_ref().ok_or("check needs --constraints <file>")?;
     let table = load_table(data_path)?;
     let guard = Guardrail::from_program(load_constraints(constraints)?);
+    let ring = arm_tracing(&flags[1]);
+    let detect_clock = std::time::Instant::now();
     let report = guard.detect(&table);
+    let detect_ns = detect_clock.elapsed().as_nanos() as u64;
+    if let (Some(path), Some(ring)) = (&flags[1], &ring) {
+        write_trace(path, ring)?;
+    }
+    if switches[0] {
+        // Serving-side stage report: detection timing plus how many
+        // statements the decision-table engine could not serve vectorized.
+        let legacy = guard
+            .program()
+            .compile_for(&table)
+            .map(|c| c.legacy_statement_count())
+            .unwrap_or_default();
+        let stage = StageReport::new("check_table")
+            .wall_ns(detect_ns)
+            .metric("rows", report.rows_checked)
+            .metric("violations", report.violations.len())
+            .metric("engine_fallback_statements", legacy);
+        eprint!("{}", PipelineReport::new().stage(stage));
+    }
     for v in &report.violations {
         println!(
             "row {}: {} = {:?} violates statement {} (expected {:?})",
@@ -165,7 +242,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_repair(args: &[String]) -> Result<ExitCode, String> {
-    let (pos, flags) = parse_flags(args, &["--constraints", "--scheme", "--output"])?;
+    let (pos, flags, _) = parse_flags(args, &["--constraints", "--scheme", "--output"], &[])?;
     let [data_path] = pos.as_slice() else {
         return Err("repair needs exactly one CSV path".into());
     };
@@ -195,7 +272,7 @@ fn cmd_repair(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_structure(args: &[String]) -> Result<ExitCode, String> {
-    let (pos, _) = parse_flags(args, &[])?;
+    let (pos, _, _) = parse_flags(args, &[], &[])?;
     let [data_path] = pos.as_slice() else {
         return Err("structure needs exactly one CSV path".into());
     };

@@ -39,6 +39,7 @@ pub use guardrail_dsl as dsl;
 pub use guardrail_governor as governor;
 pub use guardrail_graph as graph;
 pub use guardrail_ml as ml;
+pub use guardrail_obs as obs;
 pub use guardrail_pgm as pgm;
 pub use guardrail_sqlexec as sqlexec;
 pub use guardrail_stats as stats;
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use guardrail_dsl::{parse_program, CompiledProgram, Program, Violation};
     pub use guardrail_governor::{Budget, DegradationReport, Parallelism, StageStatus};
     pub use guardrail_ml::{Classifier, DecisionTree, Ensemble, NaiveBayes};
+    pub use guardrail_obs::{PipelineReport, StageReport};
     pub use guardrail_sqlexec::{Catalog, Executor};
     pub use guardrail_synth::SynthesisConfig;
     pub use guardrail_table::{Row, Schema, SplitSpec, Table, TableBuilder, Value};

@@ -3,10 +3,13 @@
 //! Covered here:
 //!
 //! * the fused CI-test kernel (dense tabulation, statistic folding, and the
-//!   chi-squared p-value), and
+//!   chi-squared p-value),
 //! * the vectorized decision-table detect pass
 //!   (`CompiledProgram::check_table_raw_into` with a caller-owned
-//!   [`DetectScratch`]).
+//!   [`DetectScratch`]), and
+//! * the same detect pass with the observability layer's [`NoopRecorder`]
+//!   explicitly installed — the tracing instrumentation's zero-overhead
+//!   contract (a disarmed span is one relaxed atomic load, no heap).
 //!
 //! The whole test binary runs under a counting global allocator (its own
 //! integration-test binary, so no other tests pollute the counter). The
@@ -22,6 +25,7 @@ use std::sync::Mutex;
 
 use guardrail::dsl::ast::{Branch, Condition, Program, Statement};
 use guardrail::dsl::DetectScratch;
+use guardrail::obs::{self, NoopRecorder};
 use guardrail::stats::suffstats::{ci_test_fused, Strata, StratumPack};
 use guardrail::stats::CiTestKind;
 use guardrail::table::{Table, TableBuilder, Value};
@@ -179,6 +183,38 @@ fn steady_state_vectorized_detect_does_not_allocate() {
         after - before,
         0,
         "warmed vectorized detect must not touch the heap ({} allocations over 200 passes)",
+        after - before
+    );
+}
+
+#[test]
+fn detect_with_noop_recorder_installed_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    // Installing the Noop recorder is the observability layer's "off" state
+    // made explicit: the gate stays closed, so every span/counter call in
+    // the instrumented detect path must stay a single relaxed atomic load.
+    obs::install(std::sync::Arc::new(NoopRecorder));
+    assert!(!obs::recording(), "Noop recorder must keep the gate closed");
+    let (table, program) = noisy_table(12_000);
+    let compiled = program.compile_for(&table).unwrap();
+
+    let mut out = Vec::new();
+    let mut scratch = DetectScratch::default();
+    for _ in 0..3 {
+        compiled.check_table_raw_into(&table, &mut out, &mut scratch);
+    }
+    assert!(!out.is_empty());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..200 {
+        compiled.check_table_raw_into(&table, &mut out, &mut scratch);
+        std::hint::black_box(out.len());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disarmed tracing must add zero allocations ({} over 200 passes)",
         after - before
     );
 }

@@ -145,6 +145,71 @@ fn synth_respects_epsilon_flag() {
 }
 
 #[test]
+fn report_and_trace_flags() {
+    let dir = tmpdir("report_trace");
+    let clean = write_clean_csv(&dir);
+    let constraints = dir.join("c.gr");
+    let fit_trace = dir.join("fit_trace.json");
+
+    // --report prints the stage tree; --trace-out writes a Chrome trace.
+    let out = run(&[
+        "synth",
+        clean.to_str().unwrap(),
+        "--output",
+        constraints.to_str().unwrap(),
+        "--report",
+        "--trace-out",
+        fit_trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pipeline report"), "{stderr}");
+    assert!(stderr.contains("synthesis"), "{stderr}");
+    assert!(stderr.contains("structure_learning"), "{stderr}");
+    assert!(stderr.contains("mec_enumeration"), "{stderr}");
+    assert!(stderr.contains("sketch_fill"), "{stderr}");
+    assert!(stderr.contains("ci_cache_hit_rate="), "{stderr}");
+    assert!(stderr.contains("work_units="), "{stderr}");
+    assert!(stderr.contains("degradations: none"), "{stderr}");
+
+    // The trace file is Perfetto-shaped JSON with the synthesis stage spans.
+    let trace = std::fs::read_to_string(&fit_trace).unwrap();
+    assert!(trace.starts_with('{'), "{trace}");
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    for name in ["pc_level", "mec_enumeration", "fill_statement", "synthesis"] {
+        assert!(trace.contains(&format!("\"name\":\"{name}\"")), "missing {name} span:\n{trace}");
+    }
+    assert!(trace.contains("\"cache_hits\""), "pc_level cache args missing:\n{trace}");
+
+    // check --report surfaces serving-side metrics, including the
+    // engine-fallback count.
+    let check_trace = dir.join("check_trace.json");
+    let out = run(&[
+        "check",
+        clean.to_str().unwrap(),
+        "--constraints",
+        constraints.to_str().unwrap(),
+        "--report",
+        "--trace-out",
+        check_trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("pipeline report"), "{stderr}");
+    assert!(stderr.contains("check_table"), "{stderr}");
+    assert!(stderr.contains("engine_fallback_statements=0"), "{stderr}");
+    let trace = std::fs::read_to_string(&check_trace).unwrap();
+    assert!(trace.contains("\"name\":\"detect_chunk\""), "{trace}");
+
+    // A degraded fit routes its degradations through the report.
+    let out = run(&["synth", clean.to_str().unwrap(), "--budget-ms", "0", "--report"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("degradations:"), "{stderr}");
+    assert!(!stderr.contains("degradations: none"), "{stderr}");
+}
+
+#[test]
 fn synth_budget_flags_degrade_gracefully() {
     let dir = tmpdir("budget");
     let clean = write_clean_csv(&dir);

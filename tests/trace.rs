@@ -1,0 +1,136 @@
+//! Trace-schema integration tests: arm a recorder, run the real pipeline,
+//! and validate the event stream end to end — JSONL round-trips through the
+//! workspace's own parser, spans nest and balance per thread, and the
+//! Chrome-trace export carries every expected stage with its counters.
+//!
+//! The recorder registry is process-global, so every test that arms it
+//! serializes on [`SERIAL`].
+
+use guardrail::obs;
+use guardrail::obs::{Event, RingRecorder};
+use guardrail::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn clean_table(rows: usize) -> Table {
+    let mut csv = String::from("zip,city,weather\n");
+    for i in 0..rows {
+        let (zip, city) = if i % 2 == 0 { (94704, "Berkeley") } else { (97201, "Portland") };
+        csv.push_str(&format!("{zip},{city},w{}\n", i % 7));
+    }
+    Table::from_csv_str(&csv).unwrap()
+}
+
+/// Runs one fit and one detection under an armed ring recorder and returns
+/// the captured events.
+fn traced_fit_and_check() -> Vec<Event> {
+    let ring = Arc::new(RingRecorder::with_capacity(1 << 20));
+    obs::install(ring.clone());
+    let table = clean_table(2000);
+    let guard = Guardrail::fit(&table, &GuardrailConfig::default());
+    assert!(!guard.program().statements.is_empty(), "fixture must synthesize");
+    let dirty = Table::from_csv_str("zip,city,weather\n94704,gibbon,w0\n").unwrap();
+    let _ = guard.detect(&dirty);
+    obs::uninstall();
+    ring.take()
+}
+
+#[test]
+fn spans_nest_and_balance_per_thread() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let events = traced_fit_and_check();
+    assert!(!events.is_empty());
+    let mut stacks: HashMap<u64, Vec<u64>> = HashMap::new();
+    for event in &events {
+        match event {
+            Event::SpanStart { id, parent, tid, .. } => {
+                let stack = stacks.entry(*tid).or_default();
+                // The recorded parent is whatever span was open on this
+                // thread when the child started.
+                assert_eq!(*parent, stack.last().copied().unwrap_or(0), "bad parent for {id}");
+                stack.push(*id);
+            }
+            Event::SpanEnd { id, tid, .. } => {
+                assert_eq!(stacks.entry(*tid).or_default().pop(), Some(*id), "unbalanced end");
+            }
+            Event::Counter { .. } => {}
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "tid {tid} left spans open: {stack:?}");
+    }
+}
+
+#[test]
+fn jsonl_round_trips_through_own_parser() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let events = traced_fit_and_check();
+    for event in &events {
+        let line = event.to_jsonl();
+        let parsed = obs::parse_jsonl_line(&line)
+            .unwrap_or_else(|e| panic!("unparseable line {line:?}: {e}"));
+        assert!(parsed.matches(event), "round-trip mismatch: {line}");
+    }
+}
+
+#[test]
+fn chrome_trace_carries_every_stage_with_counters() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let events = traced_fit_and_check();
+    let trace = obs::chrome_trace(&events);
+    let doc = obs::json::parse(&trace).expect("trace is valid JSON");
+    let trace_events = doc.get("traceEvents").and_then(obs::json::Json::as_arr).unwrap();
+
+    let names: Vec<&str> = trace_events
+        .iter()
+        .filter(|e| e.get("ph").and_then(obs::json::Json::as_str) == Some("B"))
+        .filter_map(|e| e.get("name").and_then(obs::json::Json::as_str))
+        .collect();
+    for stage in [
+        "synthesis",
+        "structure_learning",
+        "pc_skeleton",
+        "pc_level",
+        "mec_enumeration",
+        "sketch_fill",
+        "fill_statement",
+        "detect",
+        "check_table",
+        "detect_chunk",
+    ] {
+        assert!(names.contains(&stage), "stage {stage} missing from trace; have {names:?}");
+    }
+
+    // Work-unit / cache counters ride as args on the end events.
+    let arg_of = |span: &str, key: &str| {
+        trace_events.iter().find_map(|e| {
+            (e.get("ph").and_then(obs::json::Json::as_str) == Some("E")
+                && e.get("name").and_then(obs::json::Json::as_str) == Some(span))
+            .then(|| e.get("args").and_then(|a| a.get(key)).and_then(obs::json::Json::as_u64))
+            .flatten()
+        })
+    };
+    assert!(arg_of("pc_level", "cache_hits").is_some(), "pc_level lost its cache-hit arg");
+    assert!(arg_of("pc_level", "edges_tested").is_some());
+    assert_eq!(arg_of("mec_enumeration", "truncated"), Some(0));
+    assert!(arg_of("fill_statement", "candidate_groups").is_some());
+    assert!(arg_of("synthesis", "work_units").unwrap_or(0) > 0, "no work charged");
+    assert_eq!(arg_of("detect", "violations"), Some(1));
+}
+
+#[test]
+fn disarmed_pipeline_records_nothing() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    obs::uninstall();
+    let table = clean_table(400);
+    let guard = Guardrail::fit(&table, &GuardrailConfig::default());
+    let _ = guard.detect(&table);
+    assert!(!obs::recording());
+    // Arm a ring afterwards: nothing from the disarmed run leaks in.
+    let ring = Arc::new(RingRecorder::with_capacity(64));
+    obs::install(ring.clone());
+    obs::uninstall();
+    assert!(ring.take().is_empty());
+}
