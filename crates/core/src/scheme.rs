@@ -22,6 +22,22 @@ pub enum ErrorScheme {
     Rectify,
 }
 
+impl std::str::FromStr for ErrorScheme {
+    type Err = String;
+
+    /// Parses the lowercase wire/CLI names: `raise`, `ignore`, `coerce`,
+    /// `rectify`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "raise" => Ok(ErrorScheme::Raise),
+            "ignore" => Ok(ErrorScheme::Ignore),
+            "coerce" => Ok(ErrorScheme::Coerce),
+            "rectify" => Ok(ErrorScheme::Rectify),
+            other => Err(format!("unknown scheme {other:?} (raise|ignore|coerce|rectify)")),
+        }
+    }
+}
+
 /// Per-row result of applying a scheme.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RowOutcome {

@@ -10,6 +10,7 @@
 //! and to budgeted synthesis and asserts two invariants: *never panic* and
 //! *always return within budget*.
 
+use crate::inject::{corrupt_value, InjectConfig, InjectedError, InjectionReport};
 use guardrail_table::{Table, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,6 +102,105 @@ pub fn entangled_table(attrs: usize, rows: usize, seed: u64) -> Table {
     b.finish().unwrap_or_else(|e| unreachable!("columns are consistent: {e}"))
 }
 
+/// Adversarial error models beyond [`crate::inject`]'s i.i.d. one-cell-per-
+/// row injection (the paper's fixed 1%-rate / 30-error-cap regime). Real
+/// corruption is rarely independent: a bad upstream join corrupts several
+/// cells of the *same* record at once, and a failed batch load corrupts a
+/// *contiguous range* of records. Both models reuse the same cell-level
+/// corruption kernel as `inject_errors` (plausible swap / typo / garbage),
+/// are fully determined by their seed, and return the same ground-truth
+/// [`InjectionReport`], so detection suites can score them identically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorModel {
+    /// Correlated corruption: each victim row gets `cells_per_row` distinct
+    /// corrupted cells (co-occurring within the row), across `rows` victim
+    /// rows drawn without replacement.
+    Correlated {
+        /// Victim rows to corrupt.
+        rows: usize,
+        /// Distinct cells corrupted in each victim row (clamped to the
+        /// table's column count).
+        cells_per_row: usize,
+    },
+    /// Bursty corruption: `bursts` contiguous row ranges of `burst_len`
+    /// rows each, every row in a burst getting one corrupted cell.
+    /// Overlapping bursts merge (a row is corrupted at most once).
+    Bursty {
+        /// Number of contiguous corrupted ranges.
+        bursts: usize,
+        /// Rows per range (clamped to the table's row count).
+        burst_len: usize,
+    },
+}
+
+/// Corrupts `table` in place under the adversarial `model`, seeded by
+/// `seed`, returning the ground truth. Cell-level corruption style
+/// (plausible category swap vs typo vs garbage) follows
+/// [`InjectConfig::default`].
+pub fn inject_adversarial(table: &mut Table, model: &ErrorModel, seed: u64) -> InjectionReport {
+    let config = InjectConfig { seed, ..InjectConfig::default() };
+    let n_rows = table.num_rows();
+    let n_cols = table.num_columns();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = InjectionReport::default();
+    if n_rows == 0 || n_cols == 0 {
+        return report;
+    }
+
+    // (row, cols-to-corrupt) victims, rows strictly increasing.
+    let victims: Vec<(usize, Vec<usize>)> = match *model {
+        ErrorModel::Correlated { rows, cells_per_row } => {
+            let cells = cells_per_row.clamp(1, n_cols);
+            let mut pool: Vec<usize> = (0..n_rows).collect();
+            for i in (1..pool.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                pool.swap(i, j);
+            }
+            pool.truncate(rows.min(n_rows));
+            pool.sort_unstable();
+            pool.into_iter()
+                .map(|row| {
+                    // Distinct victim columns per row, in column order so the
+                    // co-occurrence pattern is stable under re-runs.
+                    let mut cols: Vec<usize> = (0..n_cols).collect();
+                    for i in (1..cols.len()).rev() {
+                        let j = rng.gen_range(0..=i);
+                        cols.swap(i, j);
+                    }
+                    cols.truncate(cells);
+                    cols.sort_unstable();
+                    (row, cols)
+                })
+                .collect()
+        }
+        ErrorModel::Bursty { bursts, burst_len } => {
+            let len = burst_len.clamp(1, n_rows);
+            let mut hit = vec![false; n_rows];
+            for _ in 0..bursts {
+                let start = rng.gen_range(0..=n_rows - len);
+                for flag in &mut hit[start..start + len] {
+                    *flag = true;
+                }
+            }
+            hit.iter()
+                .enumerate()
+                .filter(|(_, &h)| h)
+                .map(|(row, _)| (row, vec![rng.gen_range(0..n_cols)]))
+                .collect()
+        }
+    };
+
+    for (salt, (row, cols)) in victims.iter().enumerate() {
+        for &col in cols {
+            let original = table.get(*row, col).expect("cell in range");
+            let corrupted = corrupt_value(table, *row, col, salt, &config, &mut rng);
+            table.set(*row, col, corrupted.clone()).expect("cell in range");
+            report.errors.push(InjectedError { row: *row, col, original, corrupted });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +223,104 @@ mod tests {
         for seed in 0..16 {
             let _ = Table::from_csv_bytes(garbage_bytes(seed, 512));
         }
+    }
+
+    fn plain_table(rows: usize, cols: usize) -> Table {
+        let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+        let mut b = TableBuilder::new(names);
+        for r in 0..rows {
+            let row: Vec<Value> = (0..cols).map(|c| Value::Int(((r + c) % 6) as i64)).collect();
+            b.push_row(row).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn correlated_model_corrupts_cooccurring_cells_per_row() {
+        let clean = plain_table(200, 5);
+        let mut t = clean.clone();
+        let model = ErrorModel::Correlated { rows: 12, cells_per_row: 3 };
+        let report = inject_adversarial(&mut t, &model, 9);
+        assert_eq!(report.dirty_rows().len(), 12);
+        assert_eq!(report.errors.len(), 12 * 3);
+        // Every victim row has exactly 3 distinct corrupted columns.
+        for row in report.dirty_rows() {
+            let mut cols: Vec<usize> =
+                report.errors.iter().filter(|e| e.row == row).map(|e| e.col).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), 3, "row {row}");
+        }
+        for e in &report.errors {
+            assert_ne!(e.original, e.corrupted);
+            assert_eq!(t.get(e.row, e.col), Some(e.corrupted.clone()));
+            assert_eq!(clean.get(e.row, e.col), Some(e.original.clone()));
+        }
+        // Determinism in both the mutated table and the ground truth.
+        let mut t2 = clean.clone();
+        let report2 = inject_adversarial(&mut t2, &model, 9);
+        assert_eq!(report.errors, report2.errors);
+        assert_eq!(t.to_csv_string(), t2.to_csv_string());
+        // A different seed picks different victims.
+        let mut t3 = clean.clone();
+        assert_ne!(inject_adversarial(&mut t3, &model, 10).errors, report.errors);
+    }
+
+    #[test]
+    fn bursty_model_corrupts_contiguous_row_ranges() {
+        let mut t = plain_table(500, 4);
+        let model = ErrorModel::Bursty { bursts: 3, burst_len: 20 };
+        let report = inject_adversarial(&mut t, &model, 4);
+        let rows = report.dirty_rows();
+        assert!(!rows.is_empty() && rows.len() <= 60);
+        assert_eq!(report.errors.len(), rows.len(), "one cell per burst row");
+        // The dirty set decomposes into runs of length ≥ burst ∩ table, and
+        // at most `bursts` maximal runs exist.
+        let mut runs = 1;
+        for w in rows.windows(2) {
+            if w[1] != w[0] + 1 {
+                runs += 1;
+            }
+        }
+        assert!(runs <= 3, "at most 3 maximal runs, got {runs}: {rows:?}");
+        // Each maximal run is at least 20 rows (merged overlaps only grow).
+        let mut run_len = 1;
+        let mut min_run = usize::MAX;
+        for w in rows.windows(2) {
+            if w[1] == w[0] + 1 {
+                run_len += 1;
+            } else {
+                min_run = min_run.min(run_len);
+                run_len = 1;
+            }
+        }
+        min_run = min_run.min(run_len);
+        assert!(min_run >= 20, "shortest run {min_run}");
+    }
+
+    #[test]
+    fn adversarial_models_handle_degenerate_shapes() {
+        // More victim rows than the table holds clamps to every row.
+        let mut tiny = plain_table(3, 2);
+        let rep = inject_adversarial(
+            &mut tiny,
+            &ErrorModel::Correlated { rows: 50, cells_per_row: 1 },
+            1,
+        );
+        assert_eq!(rep.dirty_rows(), vec![0, 1, 2]);
+        // Burst longer than the table clamps to the whole table.
+        let mut small = plain_table(7, 2);
+        let rep =
+            inject_adversarial(&mut small, &ErrorModel::Bursty { bursts: 1, burst_len: 99 }, 2);
+        assert_eq!(rep.dirty_rows(), (0..7).collect::<Vec<_>>());
+        // cells_per_row clamps to the column count.
+        let mut narrow = plain_table(10, 2);
+        let rep = inject_adversarial(
+            &mut narrow,
+            &ErrorModel::Correlated { rows: 4, cells_per_row: 10 },
+            3,
+        );
+        assert_eq!(rep.errors.len(), 4 * 2);
     }
 
     #[test]

@@ -139,7 +139,11 @@ pub fn inject_errors(table: &mut Table, config: &InjectConfig) -> InjectionRepor
     report
 }
 
-fn corrupt_value<R: Rng>(
+/// Draws a corrupted replacement for cell `(row, col)`: another valid
+/// category, a one-character typo, or a garbage string, per `config`'s
+/// probabilities. Shared with the adversarial error models in
+/// [`crate::chaos`] so every injection flavor corrupts cells identically.
+pub(crate) fn corrupt_value<R: Rng>(
     table: &Table,
     row: usize,
     col: usize,

@@ -155,6 +155,13 @@ impl Program {
     pub fn num_branches(&self) -> usize {
         self.statements.iter().map(|s| s.branches.len()).sum()
     }
+
+    /// Whether the program has no statements (detects nothing). Serving
+    /// registries treat an empty re-synthesis as a failed fit when a
+    /// non-empty predecessor exists.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
 }
 
 impl fmt::Display for Program {

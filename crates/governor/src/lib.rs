@@ -193,8 +193,15 @@ impl Budget {
     }
 
     /// Budget that expires `timeout` from now (monotonic clock).
+    ///
+    /// Timeouts are saturating: a `Duration::ZERO` (or otherwise already
+    /// expired) deadline trips the very next `charge`/`check` with a typed
+    /// [`Exhausted`], and an absurdly large timeout (e.g. `Duration::MAX`
+    /// from unvalidated client input) is clamped to [`MAX_TIMEOUT`] instead
+    /// of overflowing `Instant` arithmetic into *no deadline at all* — a
+    /// client must never be able to request an unbounded run by accident.
     pub fn with_deadline(timeout: Duration) -> Self {
-        Budget::build(Instant::now().checked_add(timeout), None)
+        Budget::build(Some(deadline_after(timeout)), None)
     }
 
     /// Budget capped at `cap` work units, with no deadline. Deterministic —
@@ -203,9 +210,10 @@ impl Budget {
         Budget::build(None, Some(cap))
     }
 
-    /// Budget with both a deadline and a work cap.
+    /// Budget with both a deadline and a work cap. The deadline saturates
+    /// exactly as in [`Budget::with_deadline`].
     pub fn with_deadline_and_work_cap(timeout: Duration, cap: u64) -> Self {
-        Budget::build(Instant::now().checked_add(timeout), Some(cap))
+        Budget::build(Some(deadline_after(timeout)), Some(cap))
     }
 
     /// The cancellation token observed by this budget (and its children).
@@ -257,6 +265,23 @@ impl Budget {
         self.inner.work_done.load(Ordering::Relaxed)
     }
 
+    /// Time left until the tightest deadline in this budget's ancestor
+    /// chain: `None` when no deadline exists anywhere, `Some(ZERO)` once a
+    /// deadline has passed (saturating — never underflows). Servers use
+    /// this to size `RETRY_AFTER` hints and to refuse work whose deadline
+    /// already expired without running it.
+    pub fn remaining(&self) -> Option<Duration> {
+        let mut tightest: Option<Instant> = None;
+        let mut cur: Option<&BudgetInner> = Some(&self.inner);
+        while let Some(inner) = cur {
+            if let Some(d) = inner.deadline {
+                tightest = Some(tightest.map_or(d, |t| t.min(d)));
+            }
+            cur = inner.parent.as_deref();
+        }
+        tightest.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Whether this budget (or an ancestor) can never trip: no deadline, no
     /// cap, and an untriggered token. Lets callers skip degraded-path
     /// bookkeeping entirely on the default configuration.
@@ -270,6 +295,26 @@ impl Budget {
         }
         true
     }
+}
+
+/// Largest timeout [`Budget::with_deadline`] accepts before clamping
+/// (~100 years): far beyond any real run, small enough that
+/// `Instant + timeout` can never overflow into "no deadline".
+pub const MAX_TIMEOUT: Duration = Duration::from_secs(100 * 365 * 24 * 60 * 60);
+
+/// Absolute deadline `timeout` from now, saturating at [`MAX_TIMEOUT`].
+///
+/// `Instant::checked_add` returns `None` on overflow; mapping that `None`
+/// to "no deadline" (as a naive implementation would) turns the *largest*
+/// requested timeout into the *loosest* possible budget. Clamping first
+/// keeps the monotonicity a deadline must have: more timeout never means
+/// less enforcement.
+fn deadline_after(timeout: Duration) -> Instant {
+    let now = Instant::now();
+    now.checked_add(timeout.min(MAX_TIMEOUT))
+        // Unreachable on real platforms (Instant has centuries of headroom);
+        // an immediate deadline is the fail-safe direction if it ever isn't.
+        .unwrap_or(now)
 }
 
 /// How a pipeline stage ended.
@@ -405,6 +450,38 @@ mod tests {
     fn zero_deadline_trips_immediately() {
         let b = Budget::with_deadline(Duration::ZERO);
         assert_eq!(b.check().unwrap_err().reason, ExhaustionReason::DeadlineExpired);
+        // Work is refused too, not just pure checks.
+        assert_eq!(b.charge(1).unwrap_err().reason, ExhaustionReason::DeadlineExpired);
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn huge_deadline_saturates_instead_of_disabling_enforcement() {
+        // A client-supplied Duration::MAX must clamp to a real (far-future)
+        // deadline, not overflow Instant arithmetic into "unlimited".
+        for timeout in [Duration::MAX, MAX_TIMEOUT, MAX_TIMEOUT.saturating_add(Duration::MAX)] {
+            let b = Budget::with_deadline(timeout);
+            assert!(!b.is_unlimited(), "{timeout:?} must keep a deadline");
+            b.check().unwrap(); // ...but obviously not trip now
+            let rem = b.remaining().expect("deadline exists");
+            assert!(rem > Duration::ZERO && rem <= MAX_TIMEOUT);
+        }
+        let capped = Budget::with_deadline_and_work_cap(Duration::MAX, 5);
+        assert!(!capped.is_unlimited());
+        capped.charge(5).unwrap();
+        assert_eq!(capped.charge(1).unwrap_err().reason, ExhaustionReason::WorkCapReached);
+    }
+
+    #[test]
+    fn remaining_reports_tightest_deadline_in_chain() {
+        assert_eq!(Budget::unlimited().remaining(), None);
+        let parent = Budget::with_deadline(Duration::from_secs(3600));
+        let child = parent.child(Some(10));
+        let rem = child.remaining().expect("inherits parent deadline");
+        assert!(rem <= Duration::from_secs(3600) && rem > Duration::from_secs(3500));
+        // An expired budget saturates to zero rather than underflowing.
+        let expired = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(expired.child(None).remaining(), Some(Duration::ZERO));
     }
 
     #[test]

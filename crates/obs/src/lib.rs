@@ -225,6 +225,24 @@ fn count_slow(name: &'static str, delta: u64) {
     dispatch(Event::Counter { name, tid, value: total, t_ns: now_ns() });
 }
 
+/// Adds `delta` to the named counter **whether or not a recorder is
+/// armed**, returning the new total. When recording is on, an
+/// [`Event::Counter`] sample is emitted too, so the same counter feeds
+/// both a live metrics endpoint (via [`counter_value`] /
+/// [`counters_snapshot`]) and an exported trace — one source of truth.
+///
+/// Unlike [`count`], this is *not* zero-overhead when off (it always pays
+/// the registry update); use it only at request-rate boundaries (a serving
+/// daemon's per-request outcome counters), never inside per-row hot loops.
+pub fn count_always(name: &'static str, delta: u64) -> u64 {
+    let total = counter_cell(name).fetch_add(delta, Ordering::Relaxed) + delta;
+    if recording() {
+        let tid = TID.with(|t| *t);
+        dispatch(Event::Counter { name, tid, value: total, t_ns: now_ns() });
+    }
+    total
+}
+
 /// Current value of a named counter (0 if it was never touched).
 pub fn counter_value(name: &str) -> u64 {
     let counters = counter_registry().read().unwrap_or_else(|e| e.into_inner());
@@ -322,6 +340,27 @@ mod tests {
             }
             other => panic!("expected outer end, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn count_always_accumulates_without_a_recorder() {
+        let _guard = SERIAL.lock().unwrap();
+        uninstall();
+        reset_counters();
+        assert_eq!(count_always("served.requests", 2), 2);
+        assert_eq!(count_always("served.requests", 3), 5);
+        assert_eq!(counter_value("served.requests"), 5);
+        // Arming a recorder makes the same counter emit events on top.
+        let ring = Arc::new(RingRecorder::with_capacity(16));
+        install(ring.clone());
+        assert_eq!(count_always("served.requests", 1), 6);
+        uninstall();
+        reset_counters();
+        let events = ring.take();
+        assert!(
+            matches!(events.as_slice(), [Event::Counter { name: "served.requests", value: 6, .. }]),
+            "{events:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Admission control: bounded in-flight quotas with early load shedding.
+//!
+//! The state machine per request is deliberately tiny:
+//!
+//! ```text
+//!           ┌─────────┐  quota free   ┌──────────┐ permit drop ┌──────┐
+//! parsed ──▶│ ADMIT?  ├──────────────▶│ IN-FLIGHT├────────────▶│ DONE │
+//!           └────┬────┘               └──────────┘             └──────┘
+//!                │ tenant or global quota saturated
+//!                ▼
+//!          SHED (typed RETRY_AFTER, no queue)
+//! ```
+//!
+//! There is **no queue**: a request that cannot run *now* is rejected
+//! *now* with a `RETRY_AFTER` hint. Queues under overload only convert
+//! memory into latency until both run out; shedding keeps the admitted
+//! set small enough to meet its deadlines (the `tests/server_robustness.rs`
+//! bounded-latency property).
+//!
+//! Permits are RAII: dropping a [`Permit`] — normally or during a panic
+//! unwind — releases the slot, so a poisoned request can never leak
+//! capacity (the never-leak-a-permit property).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Per-tenant accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant key.
+    pub tenant: String,
+    /// Requests currently holding a permit.
+    pub in_flight: usize,
+    /// Highest simultaneous in-flight count ever observed.
+    pub high_water: usize,
+    /// Total requests admitted.
+    pub admitted: u64,
+    /// Total requests shed (tenant or global quota).
+    pub shed: u64,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    in_flight: usize,
+    high_water: usize,
+    admitted: u64,
+    shed: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    global_in_flight: usize,
+    global_high_water: usize,
+    tenants: HashMap<String, TenantState>,
+}
+
+/// The admission controller: per-tenant and global in-flight bounds.
+#[derive(Debug)]
+pub struct Admission {
+    tenant_quota: usize,
+    global_quota: usize,
+    state: Mutex<State>,
+}
+
+/// Outcome of an admission attempt.
+#[derive(Debug)]
+pub enum AdmissionDecision {
+    /// Admitted; the permit must be held for the request's duration.
+    Admitted(Permit),
+    /// Shed; the string names the saturated bound (`"tenant"`/`"global"`).
+    Shed {
+        /// Which quota tripped.
+        bound: &'static str,
+    },
+}
+
+/// RAII in-flight slot. Dropping releases the tenant and global counts —
+/// including via panic unwind.
+#[derive(Debug)]
+pub struct Permit {
+    admission: Arc<Admission>,
+    tenant: String,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut s = self.admission.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.global_in_flight = s.global_in_flight.saturating_sub(1);
+        if let Some(t) = s.tenants.get_mut(&self.tenant) {
+            t.in_flight = t.in_flight.saturating_sub(1);
+        }
+    }
+}
+
+impl Admission {
+    /// A controller with the given per-tenant and global in-flight quotas
+    /// (both must be ≥ 1).
+    pub fn new(tenant_quota: usize, global_quota: usize) -> Arc<Self> {
+        Arc::new(Self {
+            tenant_quota: tenant_quota.max(1),
+            global_quota: global_quota.max(1),
+            state: Mutex::new(State::default()),
+        })
+    }
+
+    /// Tries to admit one request for `tenant`. O(1) under one short lock;
+    /// never blocks on quota (that would be the queue this module refuses
+    /// to have).
+    pub fn try_admit(self: &Arc<Self>, tenant: &str) -> AdmissionDecision {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.global_in_flight >= self.global_quota {
+            s.tenants.entry(tenant.to_string()).or_default().shed += 1;
+            return AdmissionDecision::Shed { bound: "global" };
+        }
+        let t = s.tenants.entry(tenant.to_string()).or_default();
+        if t.in_flight >= self.tenant_quota {
+            t.shed += 1;
+            return AdmissionDecision::Shed { bound: "tenant" };
+        }
+        t.in_flight += 1;
+        t.high_water = t.high_water.max(t.in_flight);
+        t.admitted += 1;
+        s.global_in_flight += 1;
+        s.global_high_water = s.global_high_water.max(s.global_in_flight);
+        AdmissionDecision::Admitted(Permit {
+            admission: Arc::clone(self),
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Requests currently in flight across all tenants.
+    pub fn global_in_flight(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).global_in_flight
+    }
+
+    /// Highest simultaneous global in-flight count ever observed.
+    pub fn global_high_water(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).global_high_water
+    }
+
+    /// Per-tenant accounting, sorted by tenant for stable output.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<TenantSnapshot> = s
+            .tenants
+            .iter()
+            .map(|(tenant, t)| TenantSnapshot {
+                tenant: tenant.clone(),
+                in_flight: t.in_flight,
+                high_water: t.high_water,
+                admitted: t.admitted,
+                shed: t.shed,
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_quota_bounds_in_flight_and_recovers_on_drop() {
+        let a = Admission::new(2, 100);
+        let p1 = match a.try_admit("t") {
+            AdmissionDecision::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        let _p2 = match a.try_admit("t") {
+            AdmissionDecision::Admitted(p) => p,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(a.try_admit("t"), AdmissionDecision::Shed { bound: "tenant" }));
+        // A different tenant still gets in.
+        assert!(matches!(a.try_admit("u"), AdmissionDecision::Admitted(_)));
+        drop(p1);
+        assert!(matches!(a.try_admit("t"), AdmissionDecision::Admitted(_)));
+        let snap = a.snapshot();
+        let t = snap.iter().find(|s| s.tenant == "t").unwrap();
+        assert_eq!((t.high_water, t.admitted, t.shed), (2, 3, 1));
+    }
+
+    #[test]
+    fn global_quota_bounds_across_tenants() {
+        let a = Admission::new(10, 3);
+        let permits: Vec<Permit> = (0..3)
+            .map(|i| match a.try_admit(&format!("t{i}")) {
+                AdmissionDecision::Admitted(p) => p,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert!(matches!(a.try_admit("t9"), AdmissionDecision::Shed { bound: "global" }));
+        assert_eq!(a.global_in_flight(), 3);
+        assert_eq!(a.global_high_water(), 3);
+        drop(permits);
+        assert_eq!(a.global_in_flight(), 0);
+        assert!(matches!(a.try_admit("t9"), AdmissionDecision::Admitted(_)));
+    }
+
+    #[test]
+    fn permit_released_by_panic_unwind() {
+        let a = Admission::new(1, 1);
+        let a2 = Arc::clone(&a);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _permit = match a2.try_admit("t") {
+                AdmissionDecision::Admitted(p) => p,
+                other => panic!("unexpected {other:?}"),
+            };
+            panic!("poisoned request");
+        }));
+        assert!(result.is_err());
+        // The unwind dropped the permit: capacity is back.
+        assert_eq!(a.global_in_flight(), 0);
+        assert!(matches!(a.try_admit("t"), AdmissionDecision::Admitted(_)));
+    }
+
+    #[test]
+    fn concurrent_admission_never_exceeds_quota() {
+        let a = Admission::new(4, 4);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let a = Arc::clone(&a);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        if let AdmissionDecision::Admitted(p) = a.try_admit("t") {
+                            assert!(a.global_in_flight() <= 4);
+                            drop(p);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(a.global_in_flight(), 0);
+        assert!(a.global_high_water() <= 4);
+    }
+}

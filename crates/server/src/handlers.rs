@@ -1,0 +1,419 @@
+//! Request execution: admission → budget → verb, with typed errors.
+//!
+//! Every admitted verb runs under a [`Budget`] whose deadline is the
+//! client's `deadline_ms` clamped to the server maximum (or the server
+//! default when absent). A deadline that is already exhausted — zero, or
+//! spent while shed-retrying — produces `BUDGET_EXHAUSTED` *before* any
+//! work runs; a deadline that expires mid-verb degrades the response
+//! (`"status": "degraded"` plus a serialized [`DegradationReport`]) rather
+//! than abandoning it.
+
+use crate::admission::{Admission, AdmissionDecision, Permit};
+use crate::proto::{self, ErrorKind, JVal, Op, Request, WireError};
+use crate::registry::EngineRegistry;
+use crate::server::{Lifecycle, ServerConfig};
+use guardrail_core::{ErrorScheme, Guardrail, GuardrailConfig};
+use guardrail_governor::{Budget, DegradationReport, StageStatus};
+use guardrail_obs as obs;
+use guardrail_table::Table;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome class of one request, for the `server.requests.*` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed with an exact result.
+    Ok,
+    /// Completed with a partial result under budget pressure.
+    Degraded,
+    /// Rejected by admission control (`RETRY_AFTER`).
+    Shed,
+    /// Typed error (bad request, not found, failed fit, panic, …).
+    Error,
+}
+
+/// Obs counter names, one per [`Outcome`]. These go through
+/// [`obs::count_always`], so the `status` verb and an armed `--trace-out`
+/// recorder read the *same* cells.
+pub const COUNTER_NAMES: [(&str, Outcome); 4] = [
+    ("server.requests.ok", Outcome::Ok),
+    ("server.requests.degraded", Outcome::Degraded),
+    ("server.requests.shed", Outcome::Shed),
+    ("server.requests.error", Outcome::Error),
+];
+
+/// Per-server view over the process-global obs counters: values are
+/// reported relative to a baseline taken at server start, so several
+/// servers in one process (tests) each see their own traffic.
+#[derive(Debug, Clone)]
+pub struct Counters {
+    base: [u64; 4],
+}
+
+impl Counters {
+    /// Snapshot the baseline at server start.
+    pub fn new() -> Self {
+        Self { base: COUNTER_NAMES.map(|(name, _)| obs::counter_value(name)) }
+    }
+
+    /// Counts one request outcome (always-on; traced when armed).
+    pub fn bump(&self, outcome: Outcome) {
+        let (name, _) = COUNTER_NAMES[outcome as usize];
+        obs::count_always(name, 1);
+    }
+
+    /// `(ok, degraded, shed, error)` totals since server start.
+    pub fn totals(&self) -> [u64; 4] {
+        let mut out = [0; 4];
+        for (i, (name, _)) in COUNTER_NAMES.iter().enumerate() {
+            out[i] = obs::counter_value(name).saturating_sub(self.base[i]);
+        }
+        out
+    }
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything a handler can touch. Shared by all connections.
+#[derive(Debug)]
+pub struct Ctx {
+    /// Immutable server configuration.
+    pub config: ServerConfig,
+    /// The hot-swappable engine registry.
+    pub registry: Arc<EngineRegistry>,
+    /// The admission controller.
+    pub admission: Arc<Admission>,
+    /// Drain signal.
+    pub lifecycle: Arc<Lifecycle>,
+    /// Server start, for `status.uptime_ms`.
+    pub started: Instant,
+    /// Per-server counter view.
+    pub counters: Counters,
+}
+
+type HandlerResult = Result<(Vec<(&'static str, JVal)>, DegradationReport), WireError>;
+
+/// Executes one parsed request end to end: admission, budget, verb.
+/// Returns the response line (no newline) and the outcome class. Never
+/// panics on *input* — a panic can only come from the verb body, and the
+/// connection loop isolates that with `catch_unwind`.
+pub fn handle(ctx: &Ctx, req: &Request) -> (String, Outcome) {
+    let mut span = obs::span(req.op.span_name());
+    let result = admit_and_dispatch(ctx, req);
+    let (line, outcome) = match result {
+        Ok((fields, degradation)) => {
+            let outcome = if degradation.is_complete() { Outcome::Ok } else { Outcome::Degraded };
+            (proto::render_ok(req.op, fields, &degradation), outcome)
+        }
+        Err(err) => {
+            let outcome = match err.kind {
+                ErrorKind::RetryAfter => Outcome::Shed,
+                _ => Outcome::Error,
+            };
+            (proto::render_err(Some(req.op), &err), outcome)
+        }
+    };
+    span.arg("ok", matches!(outcome, Outcome::Ok | Outcome::Degraded) as u64);
+    span.arg("shed", matches!(outcome, Outcome::Shed) as u64);
+    ctx.counters.bump(outcome);
+    (line, outcome)
+}
+
+fn admit_and_dispatch(ctx: &Ctx, req: &Request) -> HandlerResult {
+    if req.op.is_debug() && !ctx.config.debug_ops {
+        return Err(WireError::new(
+            ErrorKind::BadRequest,
+            format!("op {:?} requires --debug-ops", req.op.wire_name()),
+        ));
+    }
+    // `status` and `shutdown` bypass admission and drain refusal: they are
+    // cheap, and an operator must be able to observe/stop an overloaded or
+    // draining server.
+    let _permit: Option<Permit> = match req.op {
+        Op::Status | Op::Shutdown => None,
+        _ => {
+            if ctx.lifecycle.is_draining() {
+                return Err(WireError::new(
+                    ErrorKind::ShuttingDown,
+                    "server is draining; no new work accepted",
+                ));
+            }
+            match ctx.admission.try_admit(&req.tenant) {
+                AdmissionDecision::Admitted(permit) => Some(permit),
+                AdmissionDecision::Shed { bound } => {
+                    return Err(WireError::retry_after(
+                        ctx.config.retry_after_ms,
+                        format!("{bound} in-flight quota saturated for tenant {:?}", req.tenant),
+                    ));
+                }
+            }
+        }
+    };
+
+    let budget = request_budget(&ctx.config, req);
+    // A zero / already-expired deadline is refused before any work runs.
+    if !matches!(req.op, Op::Status | Op::Shutdown) {
+        budget.check().map_err(|e| {
+            WireError::new(ErrorKind::BudgetExhausted, format!("deadline refused: {e}"))
+        })?;
+    }
+
+    match req.op {
+        Op::Fit => fit(ctx, req, &budget),
+        Op::Detect => detect(ctx, req, &budget),
+        Op::Rectify => rectify(ctx, req, &budget),
+        Op::Vet => vet(ctx, req, &budget),
+        Op::Status => status(ctx),
+        Op::Shutdown => shutdown(ctx),
+        Op::Sleep => sleep(req, &budget),
+        Op::Boom => panic!("boom: deliberate handler panic (debug op)"),
+    }
+}
+
+/// The request's budget: client deadline clamped to the server max, or
+/// the server default. `Budget::with_deadline` saturates internally, so
+/// even absurd client values can't disable enforcement.
+fn request_budget(config: &ServerConfig, req: &Request) -> Budget {
+    let deadline = match req.deadline_ms {
+        Some(ms) => Duration::from_millis(ms).min(config.max_deadline),
+        None => config.default_deadline,
+    };
+    Budget::with_deadline(deadline)
+}
+
+fn payload_table(req: &Request) -> Result<Table, WireError> {
+    let csv = req.csv.as_deref().ok_or_else(|| {
+        WireError::new(
+            ErrorKind::BadRequest,
+            format!("op {:?} requires \"csv\"", req.op.wire_name()),
+        )
+    })?;
+    Table::from_csv_str(csv)
+        .map_err(|e| WireError::new(ErrorKind::BadRequest, format!("csv payload: {e}")))
+}
+
+fn engine_for(ctx: &Ctx, req: &Request) -> Result<Arc<crate::registry::EngineVersion>, WireError> {
+    ctx.registry.current(&req.tenant, &req.table).ok_or_else(|| {
+        WireError::new(
+            ErrorKind::NotFound,
+            format!("no engine published for tenant {:?} table {:?}", req.tenant, req.table),
+        )
+    })
+}
+
+fn fit(ctx: &Ctx, req: &Request, budget: &Budget) -> HandlerResult {
+    let table = payload_table(req)?;
+    let mut config = GuardrailConfig::default();
+    if let Some(eps) = req.epsilon {
+        config = config.with_epsilon(eps);
+    }
+    let fitted = Guardrail::builder().config(config).budget(budget.clone()).fit(&table);
+    let guard = match fitted {
+        Ok(guard) => guard,
+        Err(e) => {
+            let retained = ctx.registry.record_failed_fit(&req.tenant, &req.table);
+            return Err(WireError::new(
+                ErrorKind::FitFailed,
+                format!("fit failed ({e}); version {retained} retained"),
+            ));
+        }
+    };
+    // A re-synthesis that degrades to *nothing* must not replace a working
+    // program: keep (roll back to) the current version.
+    let prior_nonempty = ctx
+        .registry
+        .current(&req.tenant, &req.table)
+        .is_some_and(|v| !v.guard.program().is_empty());
+    if guard.program().is_empty() && prior_nonempty {
+        let retained = ctx.registry.record_failed_fit(&req.tenant, &req.table);
+        return Err(WireError::new(
+            ErrorKind::FitFailed,
+            format!("fit produced an empty program; rolled back to version {retained}"),
+        ));
+    }
+    let degradation = guard.degradation().clone();
+    let statements = guard.program().statements.len();
+    let branches = guard.program().num_branches();
+    let coverage = guard.coverage();
+    let constraints = guard.program().to_string();
+    let rows = table.num_rows();
+    let version = ctx.registry.publish(&req.tenant, &req.table, guard, rows);
+    Ok((
+        vec![
+            ("version", JVal::U64(version)),
+            ("trained_rows", JVal::U64(rows as u64)),
+            ("statements", JVal::U64(statements as u64)),
+            ("branches", JVal::U64(branches as u64)),
+            ("coverage", JVal::F64(coverage)),
+            ("constraints", JVal::Str(constraints)),
+        ],
+        degradation,
+    ))
+}
+
+fn detect(ctx: &Ctx, req: &Request, budget: &Budget) -> HandlerResult {
+    let engine = engine_for(ctx, req)?;
+    let table = payload_table(req)?;
+    let report = engine.guard.detect(&table);
+    let mut degradation = DegradationReport::complete();
+    if let Err(e) = budget.check() {
+        // The scan ran past its deadline: the result is complete, but the
+        // client asked for bounded latency — surface the overrun.
+        degradation.record(StageStatus::degraded("serve_detect", e));
+    }
+    Ok((
+        vec![
+            ("version", JVal::U64(engine.version)),
+            ("rows", JVal::U64(report.rows_checked as u64)),
+            ("dirty_rows", JVal::U64(report.dirty_rows().len() as u64)),
+            ("violations", proto::violations_jval(&report.violations)),
+        ],
+        degradation,
+    ))
+}
+
+fn rectify(ctx: &Ctx, req: &Request, budget: &Budget) -> HandlerResult {
+    let scheme = req.scheme.unwrap_or(ErrorScheme::Rectify);
+    if !matches!(scheme, ErrorScheme::Coerce | ErrorScheme::Rectify) {
+        return Err(WireError::new(
+            ErrorKind::BadRequest,
+            "rectify scheme must be \"coerce\" or \"rectify\"",
+        ));
+    }
+    let engine = engine_for(ctx, req)?;
+    let table = payload_table(req)?;
+    let (fixed, report) = engine.guard.apply(&table, scheme);
+    let mut degradation = DegradationReport::complete();
+    if let Err(e) = budget.check() {
+        degradation.record(StageStatus::degraded("serve_rectify", e));
+    }
+    Ok((
+        vec![
+            ("version", JVal::U64(engine.version)),
+            ("rows", JVal::U64(table.num_rows() as u64)),
+            ("cells_changed", JVal::U64(report.cells_changed as u64)),
+            ("violations", proto::violations_jval(&report.violations)),
+            ("csv", JVal::Str(fixed.to_csv_string())),
+        ],
+        degradation,
+    ))
+}
+
+fn vet(ctx: &Ctx, req: &Request, budget: &Budget) -> HandlerResult {
+    let scheme = req.scheme.unwrap_or(ErrorScheme::Rectify);
+    let engine = engine_for(ctx, req)?;
+    let table = payload_table(req)?;
+    let rows: Vec<usize> = (0..table.num_rows()).collect();
+    let vetted = engine.guard.vet_rows(&table, &rows, scheme).ok_or_else(|| {
+        WireError::new(
+            ErrorKind::BadRequest,
+            "published program does not bind to the payload schema",
+        )
+    })?;
+    let mut degradation = DegradationReport::complete();
+    if let Err(e) = budget.check() {
+        degradation.record(StageStatus::degraded("serve_vet", e));
+    }
+    Ok((
+        vec![
+            ("version", JVal::U64(engine.version)),
+            ("rows", JVal::U64(rows.len() as u64)),
+            ("violations", proto::violations_jval(&vetted.violations)),
+            ("legacy_statements", JVal::U64(vetted.legacy_statements as u64)),
+            ("csv", JVal::Str(vetted.table.to_csv_string())),
+        ],
+        degradation,
+    ))
+}
+
+fn status(ctx: &Ctx) -> HandlerResult {
+    let [ok, degraded, shed, error] = ctx.counters.totals();
+    let engines = JVal::Arr(
+        ctx.registry
+            .snapshot()
+            .into_iter()
+            .map(|e| {
+                JVal::Obj(vec![
+                    ("tenant".to_string(), JVal::Str(e.tenant)),
+                    ("table".to_string(), JVal::Str(e.table)),
+                    ("version".to_string(), JVal::U64(e.version)),
+                    ("statements".to_string(), JVal::U64(e.statements as u64)),
+                    ("failed_fits".to_string(), JVal::U64(e.failed_fits)),
+                ])
+            })
+            .collect(),
+    );
+    let tenants = JVal::Arr(
+        ctx.admission
+            .snapshot()
+            .into_iter()
+            .map(|t| {
+                JVal::Obj(vec![
+                    ("tenant".to_string(), JVal::Str(t.tenant)),
+                    ("in_flight".to_string(), JVal::U64(t.in_flight as u64)),
+                    ("high_water".to_string(), JVal::U64(t.high_water as u64)),
+                    ("admitted".to_string(), JVal::U64(t.admitted)),
+                    ("shed".to_string(), JVal::U64(t.shed)),
+                ])
+            })
+            .collect(),
+    );
+    let counters = JVal::Obj(vec![
+        ("ok".to_string(), JVal::U64(ok)),
+        ("degraded".to_string(), JVal::U64(degraded)),
+        ("shed".to_string(), JVal::U64(shed)),
+        ("error".to_string(), JVal::U64(error)),
+    ]);
+    // The same numbers as a rendered obs stage snapshot, so scripts that
+    // already parse `--report` trees can scrape `status` identically.
+    let stage = obs::StageReport::new("server")
+        .wall_ns(ctx.started.elapsed().as_nanos() as u64)
+        .metric("requests_ok", ok)
+        .metric("requests_degraded", degraded)
+        .metric("requests_shed", shed)
+        .metric("requests_error", error)
+        .metric("in_flight", ctx.admission.global_in_flight())
+        .metric("in_flight_high_water", ctx.admission.global_high_water());
+    let report = obs::PipelineReport::new().stage(stage).to_string();
+    Ok((
+        vec![
+            ("uptime_ms", JVal::U64(ctx.started.elapsed().as_millis() as u64)),
+            ("draining", JVal::Bool(ctx.lifecycle.is_draining())),
+            ("in_flight", JVal::U64(ctx.admission.global_in_flight() as u64)),
+            ("in_flight_high_water", JVal::U64(ctx.admission.global_high_water() as u64)),
+            ("counters", counters),
+            ("tenants", tenants),
+            ("engines", engines),
+            ("report", JVal::Str(report)),
+        ],
+        DegradationReport::complete(),
+    ))
+}
+
+fn shutdown(ctx: &Ctx) -> HandlerResult {
+    ctx.lifecycle.request_drain();
+    Ok((vec![("draining", JVal::Bool(true))], DegradationReport::complete()))
+}
+
+/// Debug verb: hold the admission slot for `sleep_ms`, charging the
+/// budget in small slices so the deadline can cut it short — the chaos
+/// suite's stand-in for a long-running verb with a bounded-latency
+/// contract.
+fn sleep(req: &Request, budget: &Budget) -> HandlerResult {
+    let target = Duration::from_millis(req.sleep_ms.unwrap_or(0));
+    let slice = Duration::from_millis(5);
+    let start = Instant::now();
+    let mut degradation = DegradationReport::complete();
+    while start.elapsed() < target {
+        if let Err(e) = budget.check() {
+            degradation.record(StageStatus::degraded("serve_sleep", e));
+            break;
+        }
+        std::thread::sleep(slice.min(target - start.elapsed()));
+    }
+    Ok((vec![("slept_ms", JVal::U64(start.elapsed().as_millis() as u64))], degradation))
+}

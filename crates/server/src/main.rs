@@ -1,0 +1,181 @@
+//! The `guardrail-server` daemon and its one-shot client.
+//!
+//! ```text
+//! guardrail-server --listen <addr> [--tenant-inflight N] [--global-inflight N]
+//!                  [--default-deadline-ms MS] [--max-deadline-ms MS]
+//!                  [--max-frame-bytes N] [--read-timeout-ms MS]
+//!                  [--idle-timeout-ms MS] [--retry-after-ms MS]
+//!                  [--debug-ops] [--trace-out trace.json]
+//! guardrail-server send <addr> <request-json>...
+//! ```
+//!
+//! The daemon prints `listening on <addr>` to stderr once bound (scripts
+//! wait for that line), serves until a `shutdown` request arrives, drains,
+//! and — when `--trace-out` was given — writes a Chrome-trace JSON of the
+//! run's `serve_*` spans and `server.requests.*` counters.
+//!
+//! `send` opens one connection, sends each argument as a request line, and
+//! prints each response line to stdout — the scripted-session client the
+//! CI smoke job drives.
+
+use guardrail_obs as obs;
+use guardrail_server::chaos::Client;
+use guardrail_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+guardrail-server — fault-tolerant multi-tenant serving daemon
+
+USAGE:
+  guardrail-server --listen <addr> [--tenant-inflight N] [--global-inflight N]
+                   [--default-deadline-ms MS] [--max-deadline-ms MS]
+                   [--max-frame-bytes N] [--read-timeout-ms MS]
+                   [--idle-timeout-ms MS] [--retry-after-ms MS]
+                   [--debug-ops] [--trace-out trace.json]
+  guardrail-server send <addr> <request-json>...
+
+Protocol: newline-delimited JSON over TCP; one request object per line, one
+response object per line. Ops: fit, detect, rectify, vet, status, shutdown.
+See DESIGN.md §4 for the grammar and the shed/degrade/clean taxonomy.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("send") => cmd_send(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(_) => cmd_daemon(&args),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_ms(value: &Option<String>, flag: &str) -> Result<Option<Duration>, String> {
+    value
+        .as_ref()
+        .map(|v| v.parse::<u64>().map(Duration::from_millis).map_err(|_| format!("bad {flag}")))
+        .transpose()
+}
+
+fn cmd_daemon(args: &[String]) -> Result<ExitCode, String> {
+    let flag_names = [
+        "--listen",
+        "--tenant-inflight",
+        "--global-inflight",
+        "--default-deadline-ms",
+        "--max-deadline-ms",
+        "--max-frame-bytes",
+        "--read-timeout-ms",
+        "--idle-timeout-ms",
+        "--retry-after-ms",
+        "--trace-out",
+    ];
+    let (pos, flags, switches) = parse_flags(args, &flag_names, &["--debug-ops"])?;
+    if !pos.is_empty() {
+        return Err(format!("unexpected argument {:?}\n{USAGE}", pos[0]));
+    }
+    let mut config = ServerConfig {
+        addr: flags[0].clone().ok_or("daemon mode needs --listen <addr>")?,
+        debug_ops: switches[0],
+        ..ServerConfig::default()
+    };
+    if let Some(v) = &flags[1] {
+        config.tenant_inflight = v.parse().map_err(|_| "bad --tenant-inflight")?;
+    }
+    if let Some(v) = &flags[2] {
+        config.global_inflight = v.parse().map_err(|_| "bad --global-inflight")?;
+    }
+    if let Some(d) = parse_ms(&flags[3], "--default-deadline-ms")? {
+        config.default_deadline = d;
+    }
+    if let Some(d) = parse_ms(&flags[4], "--max-deadline-ms")? {
+        config.max_deadline = d;
+    }
+    if let Some(v) = &flags[5] {
+        config.max_frame_bytes = v.parse().map_err(|_| "bad --max-frame-bytes")?;
+    }
+    if let Some(d) = parse_ms(&flags[6], "--read-timeout-ms")? {
+        config.read_timeout = d;
+    }
+    if let Some(d) = parse_ms(&flags[7], "--idle-timeout-ms")? {
+        config.idle_timeout = d;
+    }
+    if let Some(v) = &flags[8] {
+        config.retry_after_ms = v.parse().map_err(|_| "bad --retry-after-ms")?;
+    }
+    let trace_out = flags[9].clone();
+
+    let ring = trace_out.as_ref().map(|_| {
+        let ring = Arc::new(obs::RingRecorder::with_capacity(1 << 20));
+        obs::install(ring.clone());
+        ring
+    });
+    let handle = Server::spawn(config).map_err(|e| format!("bind failed: {e}"))?;
+    eprintln!("listening on {}", handle.addr());
+
+    // Serve until a `shutdown` request flips the drain flag.
+    while !handle.ctx().lifecycle.is_draining() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("draining…");
+    handle.shutdown();
+    if let (Some(path), Some(ring)) = (&trace_out, &ring) {
+        obs::uninstall();
+        let events = ring.take();
+        let trace = obs::chrome_trace(&events);
+        std::fs::write(path, trace).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("trace ({} events) written to {path}", events.len());
+    }
+    eprintln!("drained; bye");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_send(args: &[String]) -> Result<ExitCode, String> {
+    let [addr, requests @ ..] = args else {
+        return Err(format!("send needs <addr> and at least one request\n{USAGE}"));
+    };
+    if requests.is_empty() {
+        return Err(format!("send needs at least one request line\n{USAGE}"));
+    }
+    let addr = addr.parse().map_err(|e| format!("bad address {addr:?}: {e}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    for request in requests {
+        let response = client.call(request).map_err(|e| format!("round trip: {e}"))?;
+        println!("{response}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// (positional args, `--flag value` values, bare `--switch` states).
+type ParsedArgs = (Vec<String>, Vec<Option<String>>, Vec<bool>);
+
+/// Pulls `--flag value` pairs and bare `--switch` toggles out of an
+/// argument list (same shape as the main `guardrail` CLI's parser).
+fn parse_flags(args: &[String], flags: &[&str], switches: &[&str]) -> Result<ParsedArgs, String> {
+    let mut positional = Vec::new();
+    let mut values: Vec<Option<String>> = vec![None; flags.len()];
+    let mut toggles = vec![false; switches.len()];
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(idx) = flags.iter().position(|f| f == arg) {
+            let v = iter.next().ok_or_else(|| format!("{arg} needs a value"))?;
+            values[idx] = Some(v.clone());
+        } else if let Some(idx) = switches.iter().position(|s| s == arg) {
+            toggles[idx] = true;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}"));
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok((positional, values, toggles))
+}

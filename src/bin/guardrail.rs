@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("repair") => cmd_repair(&args[1..]),
         Some("structure") => cmd_structure(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -55,6 +56,7 @@ USAGE:
   guardrail check <data.csv> --constraints <constraints.gr> [--report] [--trace-out trace.json]
   guardrail repair <data.csv> --constraints <constraints.gr> [--scheme coerce|rectify] [--output fixed.csv]
   guardrail structure <data.csv>
+  guardrail serve --listen <addr> [--tenant-inflight N] [--global-inflight N] [--debug-ops]
 
 `synth` is anytime: --budget-ms caps wall-clock time and --max-work caps work
 units; on exhaustion it emits the best program found so far and reports which
@@ -63,7 +65,10 @@ per hardware thread; results are identical either way).
 `check` exits 0 when the data is violation-free and 1 when violations were found.
 `--report` prints the pipeline stage tree (wall times, cache ratios,
 degradations) to stderr; `--trace-out FILE` writes a Chrome-trace JSON of the
-run, openable in Perfetto.";
+run, openable in Perfetto.
+`serve` starts the multi-tenant serving daemon (newline-delimited JSON over
+TCP: fit/detect/rectify/vet/status/shutdown); the standalone
+`guardrail-server` binary exposes the full tunable set. See DESIGN.md §4.";
 
 /// (positional args, `--flag value` values, bare `--switch` states).
 type ParsedArgs = (Vec<String>, Vec<Option<String>>, Vec<bool>);
@@ -268,6 +273,37 @@ fn cmd_repair(args: &[String]) -> Result<ExitCode, String> {
         }
         None => print!("{}", fixed.to_csv_string()),
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags, switches) = parse_flags(
+        args,
+        &["--listen", "--tenant-inflight", "--global-inflight"],
+        &["--debug-ops"],
+    )?;
+    if !pos.is_empty() {
+        return Err(format!("unexpected argument {:?}", pos[0]));
+    }
+    let mut config = guardrail::server::ServerConfig {
+        addr: flags[0].clone().ok_or("serve needs --listen <addr>")?,
+        debug_ops: switches[0],
+        ..Default::default()
+    };
+    if let Some(v) = &flags[1] {
+        config.tenant_inflight = v.parse().map_err(|_| "bad --tenant-inflight")?;
+    }
+    if let Some(v) = &flags[2] {
+        config.global_inflight = v.parse().map_err(|_| "bad --global-inflight")?;
+    }
+    let handle = guardrail::server::Server::spawn(config).map_err(|e| format!("bind: {e}"))?;
+    eprintln!("listening on {}", handle.addr());
+    while !handle.ctx().lifecycle.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining…");
+    handle.shutdown();
+    eprintln!("drained; bye");
     Ok(ExitCode::SUCCESS)
 }
 

@@ -41,6 +41,7 @@ pub use guardrail_graph as graph;
 pub use guardrail_ml as ml;
 pub use guardrail_obs as obs;
 pub use guardrail_pgm as pgm;
+pub use guardrail_server as server;
 pub use guardrail_sqlexec as sqlexec;
 pub use guardrail_stats as stats;
 pub use guardrail_synth as synth;
