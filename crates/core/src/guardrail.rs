@@ -3,11 +3,11 @@
 use crate::error::GuardrailError;
 use crate::report::{ApplyReport, DetectionReport};
 use crate::scheme::{ErrorScheme, RowOutcome};
-use guardrail_dsl::{CompiledProgram, Program, Violation};
+use guardrail_dsl::{CompiledProgram, IncrementalDetector, Program, Violation};
 use guardrail_governor::{Budget, DegradationReport, Parallelism};
 use guardrail_obs::{self as obs, PipelineReport};
 use guardrail_synth::{synthesize_governed, SynthesisConfig, SynthesisOutcome};
-use guardrail_table::{Row, Table, Value};
+use guardrail_table::{Row, Table, TableSource, Value};
 
 /// Synthesis configuration for [`Guardrail::fit`] (re-exported alias of the
 /// synthesis crate's config so downstream users need only this crate).
@@ -109,8 +109,11 @@ impl GuardrailBuilder {
         self
     }
 
-    /// Runs the offline synthesis pipeline on `table`.
-    pub fn fit(self, table: &Table) -> Result<Guardrail, GuardrailError> {
+    /// Runs the offline synthesis pipeline on `source` — any
+    /// [`TableSource`]: an in-memory [`Table`], an mmap segment, or a
+    /// persistent store.
+    pub fn fit<S: TableSource + ?Sized>(self, source: &S) -> Result<Guardrail, GuardrailError> {
+        let table = source.as_table();
         let config = match self.parallelism {
             Some(p) => self.config.with_parallelism(p),
             None => self.config,
@@ -137,20 +140,24 @@ impl Guardrail {
         GuardrailBuilder::default()
     }
 
-    /// Synthesizes constraints from (ideally clean) training data.
+    /// Synthesizes constraints from (ideally clean) training data — any
+    /// [`TableSource`] works (in-memory table, segment, persistent store).
     ///
     /// Panics when the schema is unsupported (more attributes than
     /// [`guardrail_graph::MAX_NODES`]); untrusted input should go through
     /// [`Guardrail::try_fit`] instead.
-    pub fn fit(table: &Table, config: &GuardrailConfig) -> Self {
-        Self::try_fit(table, config).expect("unsupported schema; use try_fit for untrusted input")
+    pub fn fit<S: TableSource + ?Sized>(source: &S, config: &GuardrailConfig) -> Self {
+        Self::try_fit(source, config).expect("unsupported schema; use try_fit for untrusted input")
     }
 
     /// Fallible [`Guardrail::fit`] for untrusted input: returns a typed
     /// error instead of panicking on unsupported schemas. Thin wrapper over
     /// [`Guardrail::builder`].
-    pub fn try_fit(table: &Table, config: &GuardrailConfig) -> Result<Self, GuardrailError> {
-        Self::builder().config(*config).fit(table)
+    pub fn try_fit<S: TableSource + ?Sized>(
+        source: &S,
+        config: &GuardrailConfig,
+    ) -> Result<Self, GuardrailError> {
+        Self::builder().config(*config).fit(source)
     }
 
     /// Budgeted synthesis: the whole pipeline (structure learning, MEC
@@ -211,10 +218,13 @@ impl Guardrail {
         &self.outcome.report
     }
 
-    /// Detects violations across `table` (Eqn. 1 applied row-wise). Row
-    /// chunks are scanned on worker threads per the fit-time
-    /// [`Parallelism`]; the report is bit-identical for any worker count.
-    pub fn detect(&self, table: &Table) -> DetectionReport {
+    /// Detects violations across `source` (Eqn. 1 applied row-wise) — any
+    /// [`TableSource`]: an in-memory [`Table`], an mmap segment, or a
+    /// persistent store. Row chunks are scanned on worker threads per the
+    /// fit-time [`Parallelism`]; the report is bit-identical for any worker
+    /// count.
+    pub fn detect<S: TableSource + ?Sized>(&self, source: &S) -> DetectionReport {
+        let table = source.as_table();
         let mut detect_span = obs::span("detect");
         detect_span.arg("rows", table.num_rows() as u64);
         let violations = match self.compile(table) {
@@ -225,15 +235,42 @@ impl Guardrail {
         DetectionReport { violations, rows_checked: table.num_rows() }
     }
 
-    /// Applies `scheme` to a copy of `table`, returning the processed table
-    /// and what was done.
+    /// Pre-`TableSource` entry point, kept as a thin shim for callers that
+    /// need the monomorphic `&Table` signature (e.g. to take a function
+    /// pointer). New code should call [`detect`](Guardrail::detect), which
+    /// accepts any [`TableSource`].
+    #[deprecated(since = "0.3.0", note = "use detect(&source); any TableSource works")]
+    pub fn detect_table(&self, table: &Table) -> DetectionReport {
+        self.detect(table)
+    }
+
+    /// Starts incremental detection over an append-only `source`: compiles
+    /// the fitted program, scans the rows present now, and returns a
+    /// detector whose `detect_appended` probes only rows appended later
+    /// (with the determinant-key index maintained alongside). `None` when
+    /// the program is empty or does not bind to the source's schema — the
+    /// same regimes where [`detect`](Guardrail::detect) reports clean.
+    pub fn incremental<S: TableSource + ?Sized>(&self, source: &S) -> Option<IncrementalDetector> {
+        if self.outcome.program.statements.is_empty() {
+            return None;
+        }
+        IncrementalDetector::new(&self.outcome.program, source).ok()
+    }
+
+    /// Applies `scheme` to a copy of `source`'s rows, returning the
+    /// processed table and what was done.
     ///
     /// `Raise` performs detection only (callers inspect the report and abort
     /// themselves — a library cannot meaningfully panic on data errors);
     /// `Ignore` detects and leaves data untouched; `Coerce` nulls violated
     /// dependent cells; `Rectify` overwrites them with the constraint's
     /// literal.
-    pub fn apply(&self, table: &Table, scheme: ErrorScheme) -> (Table, ApplyReport) {
+    pub fn apply<S: TableSource + ?Sized>(
+        &self,
+        source: &S,
+        scheme: ErrorScheme,
+    ) -> (Table, ApplyReport) {
+        let table = source.as_table();
         let mut out = table.clone();
         let compiled = match self.compile(table) {
             Some(c) => c,
@@ -246,6 +283,14 @@ impl Guardrail {
             ErrorScheme::Rectify => compiled.rectify_table_parallel(&mut out, self.parallelism),
         };
         (out, ApplyReport { violations, cells_changed })
+    }
+
+    /// Pre-`TableSource` entry point, kept as a thin shim; see
+    /// [`detect_table`](Guardrail::detect_table). New code should call
+    /// [`apply`](Guardrail::apply), which accepts any [`TableSource`].
+    #[deprecated(since = "0.3.0", note = "use apply(&source, scheme); any TableSource works")]
+    pub fn apply_table(&self, table: &Table, scheme: ErrorScheme) -> (Table, ApplyReport) {
+        self.apply(table, scheme)
     }
 
     /// Vets one incoming row under `scheme` — the query-time guardrail hook
@@ -289,10 +334,15 @@ impl Guardrail {
     /// Returns `None` when the program references attributes `table`
     /// lacks — compilation is all-or-nothing while the value-level hook
     /// degrades per statement, so that regime must keep the per-row path.
-    pub fn vet_rows(&self, table: &Table, rows: &[usize], scheme: ErrorScheme) -> Option<BatchVet> {
+    pub fn vet_rows<S: TableSource + ?Sized>(
+        &self,
+        source: &S,
+        rows: &[usize],
+        scheme: ErrorScheme,
+    ) -> Option<BatchVet> {
         let mut vet_span = obs::span("vet_rows");
         vet_span.arg("rows", rows.len() as u64);
-        let mut sub = table.take(rows);
+        let mut sub = source.as_table().take(rows);
         let Some(compiled) = self.compile(&sub) else {
             // An empty program vets trivially; a program that does not bind
             // to this schema does not.
@@ -324,7 +374,8 @@ impl Guardrail {
     /// rectification can cascade a wrong value). `apply(Rectify)` resolves
     /// such rows last-statement-wins; callers that prefer to quarantine them
     /// can exclude these rows first.
-    pub fn conflicts(&self, table: &Table) -> Vec<RectifyConflict> {
+    pub fn conflicts<S: TableSource + ?Sized>(&self, source: &S) -> Vec<RectifyConflict> {
+        let table = source.as_table();
         let mut out = Vec::new();
         let program = self.program();
         for row_idx in 0..table.num_rows() {
@@ -573,5 +624,59 @@ mod tests {
         let g = fitted(300);
         let unrelated = Table::from_csv_str("x,y\n1,2\n").unwrap();
         assert!(g.detect(&unrelated).is_clean());
+    }
+
+    #[test]
+    fn fit_and_detect_accept_persistent_stores() {
+        use guardrail_table::TableStore;
+        let dir = std::env::temp_dir()
+            .join(format!("guardrail-core-source-{}", std::process::id()))
+            .join("store");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TableStore::create(&dir, &clean_table(400)).unwrap();
+
+        // The same entry points take &Table and &TableStore alike.
+        let g = Guardrail::fit(&store, &GuardrailConfig::default());
+        let from_table = Guardrail::fit(&clean_table(400), &GuardrailConfig::default());
+        assert_eq!(g.program(), from_table.program(), "source kind cannot change the fit");
+
+        let report = g.detect(&store);
+        assert_eq!(report.rows_checked, 400);
+        assert!(report.is_clean());
+        let (out, rep) = g.apply(&store, ErrorScheme::Rectify);
+        assert_eq!(out.num_rows(), 400);
+        assert_eq!(rep.cells_changed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deprecated_table_shims_match_source_entry_points() {
+        let g = fitted(300);
+        let dirty =
+            Table::from_csv_str("zip,city,weather\n94704,gibbon,w0\n97201,Portland,w1\n").unwrap();
+        #[allow(deprecated)]
+        {
+            assert_eq!(g.detect_table(&dirty).violations, g.detect(&dirty).violations);
+            let (shim, shim_rep) = g.apply_table(&dirty, ErrorScheme::Rectify);
+            let (new, new_rep) = g.apply(&dirty, ErrorScheme::Rectify);
+            assert_eq!(shim.to_csv_string(), new.to_csv_string());
+            assert_eq!(shim_rep.cells_changed, new_rep.cells_changed);
+        }
+    }
+
+    #[test]
+    fn incremental_detector_tracks_appends() {
+        let g = fitted(400);
+        let mut t = Table::from_csv_str("zip,city,weather\n94704,Berkeley,w0\n97201,Portland,w1\n")
+            .unwrap();
+        let mut det = g.incremental(&t).expect("fitted program binds to its own schema");
+        assert_eq!(det.violations().len(), g.detect(&t).violations.len());
+        t.append_rows(&[vec![Value::from(94704i64), Value::from("gibbon"), Value::from("w2")]])
+            .unwrap();
+        det.detect_appended(&t, &Budget::unlimited()).unwrap();
+        assert_eq!(det.violations(), g.detect(&t).violations.as_slice());
+
+        // Empty programs have nothing to track.
+        assert!(Guardrail::from_program(Program::empty()).incremental(&t).is_none());
     }
 }

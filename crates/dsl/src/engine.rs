@@ -326,8 +326,10 @@ impl StatementEngine {
     }
 
     /// Folds the chunk's determinant codes into `keys` (one per row of
-    /// `range`), reusing the caller's buffer.
-    fn pack_range(&self, table: &Table, range: Range<usize>, keys: &mut Vec<u64>) {
+    /// `range`), reusing the caller's buffer. Also the key source for the
+    /// incremental detector's determinant index, which must agree with the
+    /// scan's fold order and digit map bit-for-bit.
+    pub(crate) fn pack_range(&self, table: &Table, range: Range<usize>, keys: &mut Vec<u64>) {
         keys.clear();
         keys.resize(range.len(), 0);
         for ((&col, &card), &radix) in self.det_cols.iter().zip(&self.cards).zip(&self.radices) {

@@ -24,7 +24,7 @@ use crate::engine::{DetectScratch, RawViolation, StatementEngine};
 use crate::error::DslError;
 use guardrail_governor::{parallel_chunks, Parallelism};
 use guardrail_obs as obs;
-use guardrail_table::{Code, Row, Table, Value, NULL_CODE};
+use guardrail_table::{Code, Row, Table, TableSource, Value, NULL_CODE};
 use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::Arc;
@@ -33,7 +33,7 @@ use std::sync::Arc;
 /// per-chunk bookkeeping is negligible, fine enough that mid-size tables
 /// still split across workers (and that per-chunk key buffers stay
 /// cache-resident).
-const ROW_CHUNK: usize = 4096;
+pub(crate) const ROW_CHUNK: usize = 4096;
 
 thread_local! {
     /// Per-thread scan scratch: key and raw-violation buffers warm up to
@@ -178,6 +178,12 @@ impl CompiledProgram {
         &self.statements
     }
 
+    /// Per-statement decision tables, aligned with
+    /// [`statements`](Self::statements).
+    pub(crate) fn engines(&self) -> &[StatementEngine] {
+        &self.engines
+    }
+
     /// Number of statements in the compiled program.
     pub fn statement_count(&self) -> usize {
         self.statements.len()
@@ -190,9 +196,11 @@ impl CompiledProgram {
         self.engines.iter().filter(|e| e.is_legacy()).count()
     }
 
-    /// All violations across the table (vectorized decision-table scan).
-    pub fn check_table(&self, table: &Table) -> Vec<Violation> {
-        self.check_table_parallel(table, Parallelism::Sequential)
+    /// All violations across the source's rows (vectorized decision-table
+    /// scan). Accepts any [`TableSource`] — in-memory table, mmap segment,
+    /// or persistent store.
+    pub fn check_table<S: TableSource + ?Sized>(&self, source: &S) -> Vec<Violation> {
+        self.check_table_parallel(source.as_table(), Parallelism::Sequential)
     }
 
     /// [`check_table`](Self::check_table) with row chunks scanned on worker
@@ -228,12 +236,13 @@ impl CompiledProgram {
     /// buffers. Once those are warm, detection over dense- or
     /// hash-represented statements performs **zero** heap allocation — no
     /// name interning, no value decoding, no per-chunk lists.
-    pub fn check_table_raw_into(
+    pub fn check_table_raw_into<S: TableSource + ?Sized>(
         &self,
-        table: &Table,
+        source: &S,
         out: &mut Vec<RawViolation>,
         scratch: &mut DetectScratch,
     ) {
+        let table = source.as_table();
         out.clear();
         let mut check_span = obs::span("check_table");
         check_span.arg("rows", table.num_rows() as u64);
@@ -252,7 +261,7 @@ impl CompiledProgram {
     /// Scans one row chunk statement-by-statement, then sorts the appended
     /// segment into `(row, statement, branch)` order — exactly the legacy
     /// interpreter's row-major emission order.
-    fn check_chunk_raw(
+    pub(crate) fn check_chunk_raw(
         &self,
         table: &Table,
         range: Range<usize>,
@@ -268,7 +277,7 @@ impl CompiledProgram {
 
     /// Upgrades a raw violation at the API boundary: one `Arc` bump for the
     /// attribute name, one dictionary decode for the offending cell.
-    fn raw_to_violation(&self, table: &Table, raw: &RawViolation) -> Violation {
+    pub(crate) fn raw_to_violation(&self, table: &Table, raw: &RawViolation) -> Violation {
         let s = &self.statements[raw.statement as usize];
         let b = &s.branches[raw.branch as usize];
         let col = table.column(s.on_col).expect("bound column");
@@ -538,10 +547,13 @@ impl CompiledProgram {
 }
 
 impl Program {
-    /// Compiles this program against a table (convenience wrapper around
-    /// [`CompiledProgram::compile`]).
-    pub fn compile_for(&self, table: &Table) -> Result<CompiledProgram, DslError> {
-        CompiledProgram::compile(self, table)
+    /// Compiles this program against any [`TableSource`] (convenience
+    /// wrapper around [`CompiledProgram::compile`]).
+    pub fn compile_for<S: TableSource + ?Sized>(
+        &self,
+        source: &S,
+    ) -> Result<CompiledProgram, DslError> {
+        CompiledProgram::compile(self, source.as_table())
     }
 
     /// Denotational execution on an owned row: `⟦p⟧t = t'`. Branches whose

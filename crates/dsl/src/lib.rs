@@ -39,6 +39,7 @@
 pub mod ast;
 pub mod engine;
 pub mod error;
+pub mod incremental;
 pub mod interp;
 pub mod parser;
 pub mod semantics;
@@ -46,6 +47,7 @@ pub mod semantics;
 pub use ast::{Branch, Condition, Program, Statement};
 pub use engine::{DetectScratch, RawViolation};
 pub use error::DslError;
+pub use incremental::{IncrementalDetector, IncrementalScan};
 pub use interp::{CompiledProgram, Violation};
 pub use parser::parse_program;
 pub use semantics::{branch_loss, coverage, epsilon_valid, program_coverage, statement_coverage};

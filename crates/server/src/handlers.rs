@@ -12,10 +12,11 @@ use crate::admission::{Admission, AdmissionDecision, Permit};
 use crate::proto::{self, ErrorKind, JVal, Op, Request, WireError};
 use crate::registry::EngineRegistry;
 use crate::server::{Lifecycle, ServerConfig};
+use crate::stores::{self, StoreRegistry};
 use guardrail_core::{ErrorScheme, Guardrail, GuardrailConfig};
 use guardrail_governor::{Budget, DegradationReport, StageStatus};
 use guardrail_obs as obs;
-use guardrail_table::Table;
+use guardrail_table::{Table, TableSource};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,6 +86,9 @@ pub struct Ctx {
     pub config: ServerConfig,
     /// The hot-swappable engine registry.
     pub registry: Arc<EngineRegistry>,
+    /// Persistent `(tenant, table)` stores for `append` / `detect_batch`;
+    /// `None` when the server runs without `--store-root`.
+    pub stores: Option<Arc<StoreRegistry>>,
     /// The admission controller.
     pub admission: Arc<Admission>,
     /// Drain signal.
@@ -167,6 +171,8 @@ fn admit_and_dispatch(ctx: &Ctx, req: &Request) -> HandlerResult {
         Op::Detect => detect(ctx, req, &budget),
         Op::Rectify => rectify(ctx, req, &budget),
         Op::Vet => vet(ctx, req, &budget),
+        Op::Append => append(ctx, req, &budget),
+        Op::DetectBatch => detect_batch(ctx, req, &budget),
         Op::Status => status(ctx),
         Op::Shutdown => shutdown(ctx),
         Op::Sleep => sleep(req, &budget),
@@ -330,6 +336,108 @@ fn vet(ctx: &Ctx, req: &Request, budget: &Budget) -> HandlerResult {
     ))
 }
 
+fn store_registry<'a>(ctx: &'a Ctx, req: &Request) -> Result<&'a Arc<StoreRegistry>, WireError> {
+    ctx.stores.as_ref().ok_or_else(|| {
+        WireError::new(
+            ErrorKind::BadRequest,
+            format!("op {:?} requires a server started with --store-root", req.op.wire_name()),
+        )
+    })
+}
+
+/// Durably appends the CSV payload's rows to the `(tenant, table)` store
+/// as one WAL batch, creating the store (payload = base segment) on first
+/// use. The fsync'd WAL write happens before rows become visible, so a
+/// batch acknowledged here survives `kill -9`.
+fn append(ctx: &Ctx, req: &Request, budget: &Budget) -> HandlerResult {
+    let stores = store_registry(ctx, req)?;
+    let payload = payload_table(req)?;
+    let storage = |e| {
+        WireError::new(ErrorKind::Internal, format!("store {:?}/{:?}: {e}", req.tenant, req.table))
+    };
+    let (slot, created) =
+        stores.open_or_create(&req.tenant, &req.table, &payload).map_err(storage)?;
+    let mut slot = stores::lock_slot(&slot);
+    let (batch_id, rows_appended) = if created {
+        (0, payload.num_rows())
+    } else {
+        let batch = slot.store.append_table(&payload).map_err(storage)?;
+        (batch.id, batch.len())
+    };
+    let mut degradation = DegradationReport::complete();
+    if let Err(e) = budget.check() {
+        degradation.record(StageStatus::degraded("serve_append", e));
+    }
+    Ok((
+        vec![
+            ("created", JVal::Bool(created)),
+            ("batch_id", JVal::U64(batch_id)),
+            ("rows_appended", JVal::U64(rows_appended as u64)),
+            ("rows_total", JVal::U64(slot.store.num_rows() as u64)),
+            ("wal_batches", JVal::U64(slot.store.wal_batches().len() as u64)),
+        ],
+        degradation,
+    ))
+}
+
+/// Probes only the rows appended since the previous `detect_batch` against
+/// the published engine (determinant-index incremental scan), returning
+/// the new violations and honest probed-row work units. The first call per
+/// (store, engine version) pays one full scan to seed the detector.
+fn detect_batch(ctx: &Ctx, req: &Request, budget: &Budget) -> HandlerResult {
+    let stores = store_registry(ctx, req)?;
+    let engine = engine_for(ctx, req)?;
+    let slot = stores
+        .open(&req.tenant, &req.table)
+        .map_err(|e| {
+            WireError::new(
+                ErrorKind::Internal,
+                format!("store {:?}/{:?}: {e}", req.tenant, req.table),
+            )
+        })?
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorKind::NotFound,
+                format!("no store for tenant {:?} table {:?}; append first", req.tenant, req.table),
+            )
+        })?;
+    let mut slot = stores::lock_slot(&slot);
+    let rows_total = slot.store.num_rows();
+    let Some(outcome) = slot.detect_appended(&engine.guard, engine.version, budget) else {
+        // An empty program detects nothing, incrementally or otherwise.
+        return Ok((
+            vec![
+                ("version", JVal::U64(engine.version)),
+                ("rows_total", JVal::U64(rows_total as u64)),
+                ("rows_scanned", JVal::U64(0)),
+                ("rows_probed", JVal::U64(0)),
+                ("recompiled", JVal::Bool(false)),
+                ("violations", proto::violations_jval(&[])),
+            ],
+            DegradationReport::complete(),
+        ));
+    };
+    let (seen_before, scan) = outcome.map_err(|e| {
+        WireError::new(ErrorKind::BudgetExhausted, format!("incremental detect refused: {e}"))
+    })?;
+    let det = slot.detector().expect("detector exists after a successful pass");
+    let new_violations =
+        if scan.recompiled { det.violations() } else { det.violations_in(seen_before..rows_total) };
+    let fields = vec![
+        ("version", JVal::U64(engine.version)),
+        ("rows_total", JVal::U64(rows_total as u64)),
+        ("rows_scanned", JVal::U64(scan.rows_scanned as u64)),
+        ("rows_probed", JVal::U64(scan.rows_probed)),
+        ("recompiled", JVal::Bool(scan.recompiled)),
+        ("violations", proto::violations_jval(new_violations)),
+    ];
+    let mut degradation = DegradationReport::complete();
+    if let Err(e) = budget.check() {
+        degradation.record(StageStatus::degraded("serve_detect_batch", e));
+    }
+    Ok((fields, degradation))
+}
+
 fn status(ctx: &Ctx) -> HandlerResult {
     let [ok, degraded, shed, error] = ctx.counters.totals();
     let engines = JVal::Arr(
@@ -368,6 +476,24 @@ fn status(ctx: &Ctx) -> HandlerResult {
         ("shed".to_string(), JVal::U64(shed)),
         ("error".to_string(), JVal::U64(error)),
     ]);
+    // Persistent stores are listed only when the daemon owns a store root;
+    // the field's absence tells clients `append`/`detect_batch` are off.
+    let stores = ctx.stores.as_ref().map(|registry| {
+        JVal::Arr(
+            registry
+                .snapshot()
+                .into_iter()
+                .map(|(tenant, table, rows, wal_batches)| {
+                    JVal::Obj(vec![
+                        ("tenant".to_string(), JVal::Str(tenant)),
+                        ("table".to_string(), JVal::Str(table)),
+                        ("rows".to_string(), JVal::U64(rows as u64)),
+                        ("wal_batches".to_string(), JVal::U64(wal_batches as u64)),
+                    ])
+                })
+                .collect(),
+        )
+    });
     // The same numbers as a rendered obs stage snapshot, so scripts that
     // already parse `--report` trees can scrape `status` identically.
     let stage = obs::StageReport::new("server")
@@ -379,19 +505,20 @@ fn status(ctx: &Ctx) -> HandlerResult {
         .metric("in_flight", ctx.admission.global_in_flight())
         .metric("in_flight_high_water", ctx.admission.global_high_water());
     let report = obs::PipelineReport::new().stage(stage).to_string();
-    Ok((
-        vec![
-            ("uptime_ms", JVal::U64(ctx.started.elapsed().as_millis() as u64)),
-            ("draining", JVal::Bool(ctx.lifecycle.is_draining())),
-            ("in_flight", JVal::U64(ctx.admission.global_in_flight() as u64)),
-            ("in_flight_high_water", JVal::U64(ctx.admission.global_high_water() as u64)),
-            ("counters", counters),
-            ("tenants", tenants),
-            ("engines", engines),
-            ("report", JVal::Str(report)),
-        ],
-        DegradationReport::complete(),
-    ))
+    let mut fields = vec![
+        ("uptime_ms", JVal::U64(ctx.started.elapsed().as_millis() as u64)),
+        ("draining", JVal::Bool(ctx.lifecycle.is_draining())),
+        ("in_flight", JVal::U64(ctx.admission.global_in_flight() as u64)),
+        ("in_flight_high_water", JVal::U64(ctx.admission.global_high_water() as u64)),
+        ("counters", counters),
+        ("tenants", tenants),
+        ("engines", engines),
+    ];
+    if let Some(stores) = stores {
+        fields.push(("stores", stores));
+    }
+    fields.push(("report", JVal::Str(report)));
+    Ok((fields, DegradationReport::complete()))
 }
 
 fn shutdown(ctx: &Ctx) -> HandlerResult {

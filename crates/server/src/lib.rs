@@ -5,7 +5,11 @@
 //! JSON (one request object per line, one response object per line) that
 //! exposes the pipeline's verbs — `fit`, `detect`, `rectify`, `vet` — plus
 //! `status` and `shutdown`, against an engine registry keyed by
-//! `(tenant, table)` with atomic hot-swap on re-synthesis.
+//! `(tenant, table)` with atomic hot-swap on re-synthesis. With
+//! `--store-root` the daemon also owns persistent stores ([`stores`]):
+//! `append` durably ingests row batches (segment + WAL on disk) and
+//! `detect_batch` probes only the appended rows through a cached
+//! determinant-index [`guardrail_dsl::IncrementalDetector`].
 //!
 //! The design center is *graceful degradation over collapse*:
 //!
@@ -57,9 +61,11 @@ pub mod handlers;
 pub mod proto;
 pub mod registry;
 pub mod server;
+pub mod stores;
 
 pub use admission::{Admission, AdmissionDecision, Permit, TenantSnapshot};
 pub use guardrail_governor::DegradationReport;
 pub use proto::{parse_request, ErrorKind, JVal, Op, Request, WireError, MAX_NAME_LEN};
 pub use registry::{EngineRegistry, EngineVersion};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use stores::{StoreRegistry, StoreSlot};

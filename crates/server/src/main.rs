@@ -5,7 +5,7 @@
 //!                  [--default-deadline-ms MS] [--max-deadline-ms MS]
 //!                  [--max-frame-bytes N] [--read-timeout-ms MS]
 //!                  [--idle-timeout-ms MS] [--retry-after-ms MS]
-//!                  [--debug-ops] [--trace-out trace.json]
+//!                  [--store-root DIR] [--debug-ops] [--trace-out trace.json]
 //! guardrail-server send <addr> <request-json>...
 //! ```
 //!
@@ -33,11 +33,13 @@ USAGE:
                    [--default-deadline-ms MS] [--max-deadline-ms MS]
                    [--max-frame-bytes N] [--read-timeout-ms MS]
                    [--idle-timeout-ms MS] [--retry-after-ms MS]
-                   [--debug-ops] [--trace-out trace.json]
+                   [--store-root DIR] [--debug-ops] [--trace-out trace.json]
   guardrail-server send <addr> <request-json>...
 
 Protocol: newline-delimited JSON over TCP; one request object per line, one
-response object per line. Ops: fit, detect, rectify, vet, status, shutdown.
+response object per line. Ops: fit, detect, rectify, vet, status, shutdown,
+plus append and detect_batch against persistent stores when --store-root
+is given (stores live at DIR/<tenant>/<table>/, segment + WAL).
 See DESIGN.md §4 for the grammar and the shed/degrade/clean taxonomy.";
 
 fn main() -> ExitCode {
@@ -78,6 +80,7 @@ fn cmd_daemon(args: &[String]) -> Result<ExitCode, String> {
         "--idle-timeout-ms",
         "--retry-after-ms",
         "--trace-out",
+        "--store-root",
     ];
     let (pos, flags, switches) = parse_flags(args, &flag_names, &["--debug-ops"])?;
     if !pos.is_empty() {
@@ -113,6 +116,9 @@ fn cmd_daemon(args: &[String]) -> Result<ExitCode, String> {
         config.retry_after_ms = v.parse().map_err(|_| "bad --retry-after-ms")?;
     }
     let trace_out = flags[9].clone();
+    if let Some(v) = &flags[10] {
+        config.store_root = Some(std::path::PathBuf::from(v));
+    }
 
     let ring = trace_out.as_ref().map(|_| {
         let ring = Arc::new(obs::RingRecorder::with_capacity(1 << 20));

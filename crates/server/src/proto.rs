@@ -6,7 +6,8 @@
 //! session  := (request "\n" response "\n")*
 //! request  := { "op": op, ["tenant": name], ["table": name],
 //!               ["deadline_ms": uint], op-specific fields... }
-//! op       := "fit" | "detect" | "rectify" | "vet" | "status" | "shutdown"
+//! op       := "fit" | "detect" | "rectify" | "vet" | "append"
+//!           | "detect_batch" | "status" | "shutdown"
 //!           | "sleep" | "boom"            (debug ops; require --debug-ops)
 //! name     := 1..=64 chars of [A-Za-z0-9_.-]
 //! response := { "ok": true,  "op": op, ...result fields...,
@@ -19,11 +20,20 @@
 //!           | "INTERNAL" | "SHUTTING_DOWN"
 //! ```
 //!
-//! Op-specific request fields: `csv` (fit/detect/rectify/vet, the payload
-//! table as CSV text), `epsilon` (fit), `scheme` (vet/rectify:
+//! Op-specific request fields: `csv` (fit/detect/rectify/vet/append, the
+//! payload table as CSV text), `epsilon` (fit), `scheme` (vet/rectify:
 //! `raise|ignore|coerce|rectify`), `sleep_ms` (sleep). Unknown top-level
 //! keys are rejected — a typo must fail loudly, not silently change
 //! semantics.
+//!
+//! `append` and `detect_batch` target the server's persistent store for
+//! `(tenant, table)` (requires `--store-root`): `append` durably appends
+//! the CSV payload's rows as one WAL batch (creating the store, with the
+//! payload as its base segment, on first use) and returns `batch_id`;
+//! `detect_batch` probes only the rows appended since the previous call
+//! against the published engine and returns the *new* violations plus the
+//! probed-row work units — clients pipeline `append`/`detect_batch` pairs
+//! to validate a stream of row chunks without rescanning the table.
 //!
 //! Requests are parsed with `guardrail_obs::json` (recursion-bounded, full
 //! JSON grammar) and responses are emitted through [`JVal`], which escapes
@@ -50,6 +60,12 @@ pub enum Op {
     Rectify,
     /// Query-time vetting of a CSV payload under an error scheme.
     Vet,
+    /// Durably append a CSV payload's rows to the persistent store for
+    /// `(tenant, table)` (one WAL batch; creates the store on first use).
+    Append,
+    /// Incrementally detect violations in rows appended since the last
+    /// call, probing only the new batch against the published engine.
+    DetectBatch,
     /// Server health: engines, tenants, counters, admission snapshot.
     Status,
     /// Begin graceful drain: stop accepting, finish in-flight work.
@@ -68,6 +84,8 @@ impl Op {
             Op::Detect => "detect",
             Op::Rectify => "rectify",
             Op::Vet => "vet",
+            Op::Append => "append",
+            Op::DetectBatch => "detect_batch",
             Op::Status => "status",
             Op::Shutdown => "shutdown",
             Op::Sleep => "sleep",
@@ -82,6 +100,8 @@ impl Op {
             Op::Detect => "serve_detect",
             Op::Rectify => "serve_rectify",
             Op::Vet => "serve_vet",
+            Op::Append => "serve_append",
+            Op::DetectBatch => "serve_detect_batch",
             Op::Status => "serve_status",
             Op::Shutdown => "serve_shutdown",
             Op::Sleep => "serve_sleep",
@@ -101,6 +121,8 @@ impl Op {
             "detect" => Op::Detect,
             "rectify" => Op::Rectify,
             "vet" => Op::Vet,
+            "append" => Op::Append,
+            "detect_batch" => Op::DetectBatch,
             "status" => Op::Status,
             "shutdown" => Op::Shutdown,
             "sleep" => Op::Sleep,

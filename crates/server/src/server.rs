@@ -56,6 +56,9 @@ pub struct ServerConfig {
     pub retry_after_ms: u64,
     /// Enables the chaos-harness debug verbs (`sleep`, `boom`).
     pub debug_ops: bool,
+    /// Root directory for persistent `(tenant, table)` stores; `None`
+    /// disables the `append` / `detect_batch` verbs.
+    pub store_root: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +74,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             retry_after_ms: 50,
             debug_ops: false,
+            store_root: None,
         }
     }
 }
@@ -109,6 +113,10 @@ impl Server {
         let ctx = Arc::new(Ctx {
             admission: Admission::new(config.tenant_inflight, config.global_inflight),
             registry: EngineRegistry::new(),
+            stores: config
+                .store_root
+                .as_ref()
+                .map(|p| crate::stores::StoreRegistry::new(p.clone())),
             lifecycle: Arc::new(Lifecycle::default()),
             started: Instant::now(),
             counters: Counters::new(),

@@ -1,0 +1,247 @@
+//! The store registry: persistent [`TableStore`]s keyed by
+//! `(tenant, table)`, with a cached [`IncrementalDetector`] per store.
+//!
+//! The engine registry hot-swaps immutable fitted programs; stores are the
+//! opposite — long-lived mutable state (segment + WAL on disk, appended to
+//! by the `append` verb). Each key therefore gets its own `Mutex`-guarded
+//! slot: appends and incremental detects on one `(tenant, table)` are
+//! serialized (the WAL demands a single writer), while different keys
+//! proceed in parallel. The outer map lock is held only for the lookup.
+//!
+//! The cached detector is versioned by the engine version it was built
+//! from: a hot-swapped `fit` invalidates it lazily — the next
+//! `detect_batch` rebuilds against the new program (one full scan), and
+//! every call after that is O(appended batch) again.
+
+use guardrail_core::Guardrail;
+use guardrail_dsl::{IncrementalDetector, IncrementalScan};
+use guardrail_governor::{Budget, Exhausted};
+use guardrail_table::{Table, TableError, TableSource, TableStore};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// One registered store plus its lazily built incremental detector.
+#[derive(Debug)]
+pub struct StoreSlot {
+    /// The persistent store (segment + WAL under the server's store root).
+    pub store: TableStore,
+    /// Incremental detector built against `detector_version`'s program.
+    detector: Option<IncrementalDetector>,
+    /// Engine version the cached detector was compiled from.
+    detector_version: u64,
+}
+
+impl StoreSlot {
+    /// Runs one incremental pass over rows appended since the previous
+    /// pass, rebuilding the cached detector (one full scan + index build)
+    /// when it is cold or was built against a different engine version.
+    ///
+    /// `None` when the guard's program is empty or does not bind to the
+    /// store's schema (the regimes where bulk detect reports clean);
+    /// otherwise the detector's result, paired with the rows-seen count
+    /// from *before* the pass so callers can slice out the new violations.
+    pub fn detect_appended(
+        &mut self,
+        guard: &Guardrail,
+        engine_version: u64,
+        budget: &Budget,
+    ) -> Option<Result<(usize, IncrementalScan), Exhausted>> {
+        if self.detector.is_none() || self.detector_version != engine_version {
+            self.detector = guard.incremental(&self.store);
+            self.detector_version = engine_version;
+        }
+        let det = self.detector.as_mut()?;
+        let seen_before = det.rows_seen();
+        Some(det.detect_appended(&self.store, budget).map(|scan| (seen_before, scan)))
+    }
+
+    /// The cached detector, if one is built (read-only view for slicing
+    /// cumulative violations after [`detect_appended`](Self::detect_appended)).
+    pub fn detector(&self) -> Option<&IncrementalDetector> {
+        self.detector.as_ref()
+    }
+}
+
+/// Registered slots, keyed by `(tenant, table)`.
+type SlotMap = HashMap<(String, String), Arc<Mutex<StoreSlot>>>;
+
+/// The registry. Cheap to share (`Arc`); all methods take `&self`.
+#[derive(Debug)]
+pub struct StoreRegistry {
+    root: PathBuf,
+    slots: RwLock<SlotMap>,
+}
+
+impl StoreRegistry {
+    /// A registry rooted at `root`; stores live at `root/tenant/table/`.
+    pub fn new(root: impl Into<PathBuf>) -> Arc<Self> {
+        Arc::new(Self { root: root.into(), slots: RwLock::new(HashMap::new()) })
+    }
+
+    /// On-disk directory for a key. Safe to join blindly: tenant and table
+    /// names are validated to `[A-Za-z0-9_.-]` at the protocol boundary.
+    pub fn dir(&self, tenant: &str, table: &str) -> PathBuf {
+        self.root.join(tenant).join(table)
+    }
+
+    /// The slot for `(tenant, table)` if it is registered in memory or
+    /// already exists on disk (opened lazily, WAL replayed).
+    pub fn open(
+        &self,
+        tenant: &str,
+        table: &str,
+    ) -> Result<Option<Arc<Mutex<StoreSlot>>>, TableError> {
+        if let Some(slot) = self.lookup(tenant, table) {
+            return Ok(Some(slot));
+        }
+        let dir = self.dir(tenant, table);
+        if !TableStore::exists(&dir) {
+            return Ok(None);
+        }
+        let store = TableStore::open(&dir)?;
+        Ok(Some(self.insert(tenant, table, store)))
+    }
+
+    /// The slot for `(tenant, table)`, creating the on-disk store with
+    /// `base` as its segment when none exists yet. Returns `(slot,
+    /// created)`.
+    pub fn open_or_create(
+        &self,
+        tenant: &str,
+        table: &str,
+        base: &Table,
+    ) -> Result<(Arc<Mutex<StoreSlot>>, bool), TableError> {
+        if let Some(slot) = self.open(tenant, table)? {
+            return Ok((slot, false));
+        }
+        let dir = self.dir(tenant, table);
+        std::fs::create_dir_all(dir.parent().unwrap_or(Path::new(".")))?;
+        let store = TableStore::create(&dir, base)?;
+        Ok((self.insert(tenant, table, store), true))
+    }
+
+    /// `(tenant, table, rows, wal_batches)` for every registered store,
+    /// sorted for stable `status` output.
+    pub fn snapshot(&self) -> Vec<(String, String, usize, usize)> {
+        let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<_> = slots
+            .iter()
+            .map(|((tenant, table), slot)| {
+                let slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                (
+                    tenant.clone(),
+                    table.clone(),
+                    slot.store.num_rows(),
+                    slot.store.wal_batches().len(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn lookup(&self, tenant: &str, table: &str) -> Option<Arc<Mutex<StoreSlot>>> {
+        let slots = self.slots.read().unwrap_or_else(|e| e.into_inner());
+        slots.get(&(tenant.to_string(), table.to_string())).cloned()
+    }
+
+    fn insert(&self, tenant: &str, table: &str, store: TableStore) -> Arc<Mutex<StoreSlot>> {
+        let mut slots = self.slots.write().unwrap_or_else(|e| e.into_inner());
+        slots
+            .entry((tenant.to_string(), table.to_string()))
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(StoreSlot { store, detector: None, detector_version: 0 }))
+            })
+            .clone()
+    }
+}
+
+/// Locks a slot, recovering from a poisoned mutex (a panicking handler
+/// must not wedge the store for every later request — the store's on-disk
+/// state is consistent at every WAL record boundary by construction).
+pub fn lock_slot(slot: &Arc<Mutex<StoreSlot>>) -> MutexGuard<'_, StoreSlot> {
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Table {
+        Table::from_csv_str("zip,city\nwest,Berkeley\nnorth,Portland\n").unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("guardrail-stores-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_append_and_lazy_reopen() {
+        let root = tmp("reopen");
+        {
+            let reg = StoreRegistry::new(&root);
+            assert!(reg.open("t", "tbl").unwrap().is_none(), "nothing registered yet");
+            let (slot, created) = reg.open_or_create("t", "tbl", &base()).unwrap();
+            assert!(created);
+            let mut slot = lock_slot(&slot);
+            slot.store.append_table(&base()).unwrap();
+            assert_eq!(slot.store.num_rows(), 4);
+        }
+        // A fresh registry (server restart) finds the store on disk.
+        let reg = StoreRegistry::new(&root);
+        let slot = reg.open("t", "tbl").unwrap().expect("store exists on disk");
+        assert_eq!(lock_slot(&slot).store.num_rows(), 4);
+        let (_, created) = reg.open_or_create("t", "tbl", &base()).unwrap();
+        assert!(!created, "existing store is opened, not clobbered");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn incremental_pass_probes_only_appends_and_tracks_engine_versions() {
+        use guardrail_dsl::parse_program;
+        let root = tmp("detector");
+        let reg = StoreRegistry::new(&root);
+        let (slot, _) = reg.open_or_create("t", "tbl", &base()).unwrap();
+        let mut slot = lock_slot(&slot);
+        let g1 = Guardrail::from_program(
+            parse_program(r#"GIVEN zip ON city HAVING IF zip = "west" THEN city <- "Berkeley";"#)
+                .unwrap(),
+        );
+        let budget = Budget::unlimited();
+        // First pass seeds the detector (full scan: nothing appended yet).
+        let (seen, scan) = slot.detect_appended(&g1, 1, &budget).unwrap().unwrap();
+        assert_eq!((seen, scan.rows_scanned), (2, 0));
+        // An appended dirty row is probed alone on the next pass.
+        let dirty = Table::from_csv_str("zip,city\nwest,Oops\n").unwrap();
+        slot.store.append_table(&dirty).unwrap();
+        let (seen, scan) = slot.detect_appended(&g1, 1, &budget).unwrap().unwrap();
+        assert_eq!((seen, scan.rows_scanned, scan.new_violations), (2, 1, 1));
+        assert_eq!(slot.detector().unwrap().violations().len(), 1);
+        // A hot-swapped engine version rebuilds the detector from scratch.
+        let g2 = Guardrail::from_program(
+            parse_program(r#"GIVEN zip ON city HAVING IF zip = "north" THEN city <- "Portland";"#)
+                .unwrap(),
+        );
+        let (seen, scan) = slot.detect_appended(&g2, 2, &budget).unwrap().unwrap();
+        assert_eq!((seen, scan.rows_scanned), (3, 0), "rebuild already saw all rows");
+        assert_eq!(slot.detector().unwrap().violations().len(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn snapshot_lists_registered_stores() {
+        let root = tmp("snapshot");
+        let reg = StoreRegistry::new(&root);
+        reg.open_or_create("t", "b", &base()).unwrap();
+        reg.open_or_create("t", "a", &base()).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].1, "a");
+        assert_eq!(snap[1].1, "b");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -88,6 +88,28 @@ impl StratumPack {
         Some(Self { keys, domain })
     }
 
+    /// Appends the keys of a freshly arrived row batch to this pack in
+    /// O(batch) — the incremental counterpart of [`StratumPack::extend`]:
+    /// `extend` adds a *column* to every row, `append_rows` adds *rows*
+    /// under the same columns. `columns`/`cards` must be the batch's slices
+    /// of the same conditioning columns this pack was built over (same
+    /// order, same cardinalities); `None` when the cardinalities disagree
+    /// with the pack's domain or overflow `u64`, leaving the pack
+    /// untouched.
+    ///
+    /// This is what lets sufficient statistics over a persistent table
+    /// update per appended WAL batch instead of re-packing every row from
+    /// scratch: the resulting pack is bit-identical to
+    /// [`StratumPack::pack`] over the concatenated columns.
+    pub fn append_rows(&mut self, columns: &[&[u32]], cards: &[usize]) -> Option<()> {
+        let batch = Self::pack(columns, cards)?;
+        if batch.domain != self.domain {
+            return None;
+        }
+        self.keys.extend_from_slice(&batch.keys);
+        Some(())
+    }
+
     /// The per-row stratum keys.
     pub fn keys(&self) -> &[u64] {
         &self.keys
@@ -499,6 +521,48 @@ mod tests {
         let full = StratumPack::pack(&refs, &[3, 4, 2]).unwrap();
         let extended = StratumPack::pack(&refs[..2], &[3, 4]).unwrap().extend(&cols[2], 2).unwrap();
         assert_eq!(full, extended);
+    }
+
+    #[test]
+    fn append_rows_matches_pack_of_concatenation() {
+        let mut rng = xorshift(11);
+        let cards = [3usize, 4, 2];
+        let gen_cols = |rng: &mut dyn FnMut() -> u64, n: usize| -> Vec<Vec<u32>> {
+            cards.iter().map(|&c| (0..n).map(|_| (rng() % c as u64) as u32).collect()).collect()
+        };
+        let base = gen_cols(&mut rng, 400);
+        let batch1 = gen_cols(&mut rng, 37);
+        let batch2 = gen_cols(&mut rng, 1);
+        let empty = gen_cols(&mut rng, 0);
+
+        fn refs(cols: &[Vec<u32>]) -> Vec<&[u32]> {
+            cols.iter().map(|c| c.as_slice()).collect()
+        }
+        let mut incremental = StratumPack::pack(&refs(&base), &cards).unwrap();
+        for batch in [&batch1, &batch2, &empty] {
+            incremental.append_rows(&refs(batch), &cards).unwrap();
+        }
+
+        let concat: Vec<Vec<u32>> = (0..cards.len())
+            .map(|c| {
+                let mut col = base[c].clone();
+                col.extend_from_slice(&batch1[c]);
+                col.extend_from_slice(&batch2[c]);
+                col
+            })
+            .collect();
+        let scratch = StratumPack::pack(&refs(&concat), &cards).unwrap();
+        assert_eq!(incremental, scratch, "per-batch appends equal a from-scratch repack");
+    }
+
+    #[test]
+    fn append_rows_rejects_mismatched_cards() {
+        let a = [0u32, 1, 2];
+        let b = [1u32, 0, 1];
+        let mut pack = StratumPack::pack(&[&a, &b], &[3, 2]).unwrap();
+        let before = pack.clone();
+        assert!(pack.append_rows(&[&a[..1], &b[..1]], &[4, 2]).is_none(), "wrong cardinality");
+        assert_eq!(pack, before, "failed append leaves the pack untouched");
     }
 
     #[test]

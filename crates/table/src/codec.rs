@@ -1,0 +1,191 @@
+//! Shared byte-level encoding for the storage layer (segments + WAL).
+//!
+//! Everything is little-endian and hand-rolled: the workspace takes no
+//! serialization dependency. Values are tagged (`0=Null, 1=Bool, 2=Int,
+//! 3=Float, 4=Str`); floats are stored as raw IEEE-754 bits so the encode →
+//! decode roundtrip is bit-exact. Integrity is guarded by a 64-bit FNV-1a
+//! checksum — cheap, dependency-free, and plenty to catch the torn or
+//! bit-rotted tails the recovery path must detect (it is not a
+//! cryptographic MAC and does not need to be).
+
+use crate::error::TableError;
+use crate::value::Value;
+use crate::Result;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`.
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked read cursor over a byte buffer.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context for error messages ("segment", "wal record", ...).
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Cursor { buf, pos: 0, what }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn truncated(&self) -> TableError {
+        TableError::Storage(format!("truncated {} at byte {}", self.what, self.pos))
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.truncated());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self, len: usize) -> Result<String> {
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| TableError::Storage(format!("invalid UTF-8 in {}", self.what)))
+    }
+}
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Appends the tagged encoding of `v` to `out`.
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_u32(out, s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Reads one tagged value.
+pub(crate) fn get_value(cur: &mut Cursor<'_>) -> Result<Value> {
+    match cur.u8()? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => Ok(Value::Bool(cur.u8()? != 0)),
+        TAG_INT => Ok(Value::Int(i64::from_le_bytes(cur.take(8)?.try_into().unwrap()))),
+        TAG_FLOAT => {
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(cur.take(8)?.try_into().unwrap()))))
+        }
+        TAG_STR => {
+            let len = cur.u32()? as usize;
+            Ok(Value::Str(cur.str(len)?))
+        }
+        tag => Err(TableError::Storage(format!("unknown value tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip_is_bit_exact() {
+        let values = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.5),
+            Value::Float(-0.0),
+            Value::Str(String::new()),
+            Value::Str("héllo, wörld".into()),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            put_value(&mut buf, v);
+        }
+        let mut cur = Cursor::new(&buf, "test");
+        for v in &values {
+            let back = get_value(&mut cur).unwrap();
+            match (v, &back) {
+                // -0.0 == 0.0 under PartialEq; compare bits to prove exactness.
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(*v, back),
+            }
+        }
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Str("hello".into()));
+        for cut in 0..buf.len() {
+            let mut cur = Cursor::new(&buf[..cut], "test");
+            assert!(get_value(&mut cur).is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        let a = checksum64(b"guardrail");
+        assert_eq!(a, checksum64(b"guardrail"), "deterministic");
+        assert_ne!(a, checksum64(b"guardrail\0"), "length-sensitive");
+        assert_ne!(a, checksum64(b"guardrails"), "content-sensitive");
+        assert_eq!(checksum64(b""), FNV_OFFSET);
+    }
+}

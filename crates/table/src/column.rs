@@ -11,7 +11,7 @@ use crate::value::Value;
 /// DSL condition matching — operates on the `codes` slice directly; values are
 /// only materialized at API boundaries (CSV output, SQL results, DSL
 /// literals).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Column {
     codes: Vec<Code>,
     dict: Dictionary,

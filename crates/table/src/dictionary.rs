@@ -17,7 +17,7 @@ pub const NULL_CODE: Code = u32::MAX;
 /// Codes are assigned in first-observation order, which keeps encoding
 /// deterministic for a given input — a property the synthesis pipeline relies
 /// on for reproducible runs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dictionary {
     values: Vec<Value>,
     index: HashMap<Value, Code>,

@@ -41,6 +41,9 @@ pub enum TableError {
     },
     /// I/O failure while reading or writing CSV files.
     Io(String),
+    /// Corruption or protocol violation in the storage layer (segments,
+    /// WAL, store directories).
+    Storage(String),
     /// An empty table (no columns / no header) where one was required.
     Empty,
 }
@@ -63,6 +66,7 @@ impl fmt::Display for TableError {
                 write!(f, "CSV parse error at line {line}: {message}")
             }
             TableError::Io(msg) => write!(f, "I/O error: {msg}"),
+            TableError::Storage(msg) => write!(f, "storage error: {msg}"),
             TableError::Empty => write!(f, "table has no columns"),
         }
     }

@@ -30,24 +30,34 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod codec;
 pub mod column;
 pub mod csv;
 pub mod dictionary;
 pub mod error;
 pub mod row;
 pub mod schema;
+pub mod segment;
+pub mod source;
 pub mod split;
+pub mod store;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use column::Column;
+pub use csv::CsvBatchReader;
 pub use dictionary::{Code, Dictionary, NULL_CODE};
 pub use error::TableError;
 pub use row::{Row, RowView};
 pub use schema::{DataType, Field, Schema};
+pub use segment::Segment;
+pub use source::{RowBatch, TableSource};
 pub use split::SplitSpec;
+pub use store::{RecoveryReport, TableStore};
 pub use table::{Table, TableBuilder};
 pub use value::Value;
+pub use wal::{Wal, WalBatch};
 
 /// Convenient `Result` alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TableError>;

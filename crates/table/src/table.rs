@@ -12,7 +12,7 @@ use crate::Result;
 ///
 /// A `Table` corresponds to the dataset `D` in the paper: rows are program
 /// states for the DSL interpreter, columns are attributes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
@@ -154,6 +154,46 @@ impl Table {
     /// Rows where `predicate(row_index)` holds.
     pub fn filter_indices<F: FnMut(usize) -> bool>(&self, mut predicate: F) -> Vec<usize> {
         (0..self.num_rows).filter(|&i| predicate(i)).collect()
+    }
+
+    /// Re-derives the row count and field types after columns were extended
+    /// in place (the storage append/replay path). Keeps the schema
+    /// bit-identical to what [`Table::from_columns`] would infer from the
+    /// same columns, which is what makes WAL replay equal a from-scratch
+    /// load.
+    pub(crate) fn refresh_after_append(&mut self) {
+        self.num_rows = self.columns.first().map(|c| c.len()).unwrap_or(0);
+        let fields = self
+            .schema
+            .fields()
+            .iter()
+            .zip(&self.columns)
+            .map(|(f, c)| Field::new(f.name().to_string(), c.infer_type()))
+            .collect();
+        self.schema = Schema::new(fields).expect("column names are unchanged");
+    }
+
+    /// Appends rows in row-major order, interning values in the same order
+    /// every storage path (create, WAL replay, from-scratch build) uses, so
+    /// the result is bit-identical to building the table from the
+    /// concatenated rows. Every row must have exactly one cell per column.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<()> {
+        let ncols = self.num_columns();
+        for row in rows {
+            if row.len() != ncols {
+                return Err(TableError::Storage(format!(
+                    "appended row has {} cells, table has {ncols} columns",
+                    row.len()
+                )));
+            }
+        }
+        for row in rows {
+            for (c, value) in row.iter().enumerate() {
+                self.columns[c].push(value.clone());
+            }
+        }
+        self.refresh_after_append();
+        Ok(())
     }
 
     /// Returns fields whose inferred type is in `types`.

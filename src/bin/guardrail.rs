@@ -1,19 +1,25 @@
 //! The `guardrail` command-line tool.
 //!
 //! ```text
-//! guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N]
-//!                  [--threads T] [--output constraints.gr]
+//! guardrail synth <clean.csv> [--store <dir>] [--epsilon E] [--budget-ms MS]
+//!                  [--max-work N] [--threads T] [--output constraints.gr]
 //!                  [--report] [--trace-out trace.json]
-//! guardrail check <data.csv> --constraints <constraints.gr>
+//! guardrail check <data.csv> [--store <dir>] --constraints <constraints.gr>
 //!                  [--report] [--trace-out trace.json]
 //! guardrail repair <data.csv> --constraints <constraints.gr>
 //!                  [--scheme coerce|rectify] [--output fixed.csv]
+//! guardrail ingest <data.csv> --store <dir> [--batch-rows N] [--report]
 //! guardrail structure <data.csv>
 //! ```
 //!
 //! Constraints are stored in the DSL's text syntax, so the files produced by
 //! `synth` are human-readable and hand-editable, and anything parseable by
 //! `guardrail_dsl::parse_program` can be fed back to `check` / `repair`.
+//!
+//! `ingest` streams a CSV into a persistent store (columnar segment + WAL)
+//! in bounded batches; `synth`/`check` then run off that store via
+//! `--store <dir>` instead of a CSV path, so large tables are read without
+//! a whole-file load and appends survive restarts.
 //!
 //! `--report` prints the pipeline's stage-tree report (wall times, work
 //! units, cache hit ratios, degradations) to stderr. `--trace-out FILE`
@@ -31,6 +37,7 @@ fn main() -> ExitCode {
         Some("synth") => cmd_synth(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("repair") => cmd_repair(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("structure") => cmd_structure(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -52,17 +59,22 @@ const USAGE: &str = "\
 guardrail — integrity constraint synthesis from noisy data
 
 USAGE:
-  guardrail synth <clean.csv> [--epsilon E] [--budget-ms MS] [--max-work N] [--threads T] [--output constraints.gr] [--report] [--trace-out trace.json]
-  guardrail check <data.csv> --constraints <constraints.gr> [--report] [--trace-out trace.json]
+  guardrail synth <clean.csv> [--store <dir>] [--epsilon E] [--budget-ms MS] [--max-work N] [--threads T] [--output constraints.gr] [--report] [--trace-out trace.json]
+  guardrail check <data.csv> [--store <dir>] --constraints <constraints.gr> [--report] [--trace-out trace.json]
   guardrail repair <data.csv> --constraints <constraints.gr> [--scheme coerce|rectify] [--output fixed.csv]
+  guardrail ingest <data.csv> --store <dir> [--batch-rows N] [--report]
   guardrail structure <data.csv>
-  guardrail serve --listen <addr> [--tenant-inflight N] [--global-inflight N] [--debug-ops]
+  guardrail serve --listen <addr> [--tenant-inflight N] [--global-inflight N] [--store-root DIR] [--debug-ops]
 
 `synth` is anytime: --budget-ms caps wall-clock time and --max-work caps work
 units; on exhaustion it emits the best program found so far and reports which
 pipeline stage was cut short. --threads pins the worker count (default: one
 per hardware thread; results are identical either way).
 `check` exits 0 when the data is violation-free and 1 when violations were found.
+`ingest` streams a CSV into a persistent store (columnar segment + WAL);
+`synth`/`check` accept --store <dir> in place of the CSV path to run off a
+store ingested earlier. `serve` with --store-root enables the append /
+detect_batch verbs against stores under that root.
 `--report` prints the pipeline stage tree (wall times, cache ratios,
 degradations) to stderr; `--trace-out FILE` writes a Chrome-trace JSON of the
 run, openable in Perfetto.
@@ -125,16 +137,51 @@ fn load_constraints(path: &str) -> Result<Program, String> {
     parse_program(&text).map_err(|e| format!("parsing {path:?}: {e}"))
 }
 
+/// A command's data input: an in-memory CSV load or a persistent store.
+enum Input {
+    Mem(Table),
+    Store(TableStore),
+}
+
+impl Input {
+    /// Resolves the positional-CSV / `--store` choice: exactly one of the
+    /// two must be given. Opening a store replays its WAL, so the view is
+    /// current as of the last durable append.
+    fn load(pos: &[String], store: &Option<String>, cmd: &str) -> Result<Input, String> {
+        match (pos, store) {
+            ([path], None) => Ok(Input::Mem(load_table(path)?)),
+            ([], Some(dir)) => {
+                let store =
+                    TableStore::open(dir).map_err(|e| format!("opening store {dir:?}: {e}"))?;
+                Ok(Input::Store(store))
+            }
+            _ => Err(format!("{cmd} needs exactly one CSV path or --store <dir>")),
+        }
+    }
+
+    fn source(&self) -> &dyn TableSource {
+        match self {
+            Input::Mem(t) => t,
+            Input::Store(s) => s,
+        }
+    }
+}
+
 fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
     let (pos, flags, switches) = parse_flags(
         args,
-        &["--epsilon", "--output", "--budget-ms", "--max-work", "--threads", "--trace-out"],
+        &[
+            "--epsilon",
+            "--output",
+            "--budget-ms",
+            "--max-work",
+            "--threads",
+            "--trace-out",
+            "--store",
+        ],
         &["--report"],
     )?;
-    let [data_path] = pos.as_slice() else {
-        return Err("synth needs exactly one CSV path".into());
-    };
-    let table = load_table(data_path)?;
+    let input = Input::load(&pos, &flags[6], "synth")?;
     let mut config = GuardrailConfig::default();
     if let Some(e) = &flags[0] {
         let eps: f64 = e.parse().map_err(|_| "bad --epsilon")?;
@@ -159,7 +206,7 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
         builder = builder.parallelism(Parallelism::threads(threads));
     }
     let ring = arm_tracing(&flags[5]);
-    let guard = builder.fit(&table).map_err(|e| e.to_string())?;
+    let guard = builder.fit(input.source()).map_err(|e| e.to_string())?;
     if let (Some(path), Some(ring)) = (&flags[5], &ring) {
         write_trace(path, ring)?;
     }
@@ -198,16 +245,13 @@ fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let (pos, flags, switches) =
-        parse_flags(args, &["--constraints", "--trace-out"], &["--report"])?;
-    let [data_path] = pos.as_slice() else {
-        return Err("check needs exactly one CSV path".into());
-    };
+        parse_flags(args, &["--constraints", "--trace-out", "--store"], &["--report"])?;
     let constraints = flags[0].as_ref().ok_or("check needs --constraints <file>")?;
-    let table = load_table(data_path)?;
+    let input = Input::load(&pos, &flags[2], "check")?;
     let guard = Guardrail::from_program(load_constraints(constraints)?);
     let ring = arm_tracing(&flags[1]);
     let detect_clock = std::time::Instant::now();
-    let report = guard.detect(&table);
+    let report = guard.detect(input.source());
     let detect_ns = detect_clock.elapsed().as_nanos() as u64;
     if let (Some(path), Some(ring)) = (&flags[1], &ring) {
         write_trace(path, ring)?;
@@ -217,7 +261,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         // statements the decision-table engine could not serve vectorized.
         let legacy = guard
             .program()
-            .compile_for(&table)
+            .compile_for(input.source())
             .map(|c| c.legacy_statement_count())
             .unwrap_or_default();
         let stage = StageReport::new("check_table")
@@ -276,10 +320,44 @@ fn cmd_repair(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags, switches) = parse_flags(args, &["--store", "--batch-rows"], &["--report"])?;
+    let [data_path] = pos.as_slice() else {
+        return Err("ingest needs exactly one CSV path".into());
+    };
+    let store_dir = flags[0].as_ref().ok_or("ingest needs --store <dir>")?;
+    let batch_rows = match &flags[1] {
+        Some(v) => v.parse::<usize>().map_err(|_| "bad --batch-rows")?,
+        None => 8192,
+    };
+    let clock = std::time::Instant::now();
+    let report = guardrail::datasets::ingest_csv(data_path, store_dir, batch_rows)
+        .map_err(|e| format!("ingesting {data_path:?} into {store_dir:?}: {e}"))?;
+    let ingest_ns = clock.elapsed().as_nanos() as u64;
+    eprintln!(
+        "{} {store_dir}: {} row(s) in {} batch(es); store now {} row(s), {} WAL batch(es)",
+        if report.created { "created" } else { "appended to" },
+        report.rows_ingested,
+        report.batches,
+        report.rows_total,
+        report.wal_batches,
+    );
+    if switches[0] {
+        let stage = StageReport::new("ingest")
+            .wall_ns(ingest_ns)
+            .metric("rows_ingested", report.rows_ingested)
+            .metric("batches", report.batches)
+            .metric("rows_total", report.rows_total)
+            .metric("wal_batches", report.wal_batches);
+        eprint!("{}", PipelineReport::new().stage(stage));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let (pos, flags, switches) = parse_flags(
         args,
-        &["--listen", "--tenant-inflight", "--global-inflight"],
+        &["--listen", "--tenant-inflight", "--global-inflight", "--store-root"],
         &["--debug-ops"],
     )?;
     if !pos.is_empty() {
@@ -295,6 +373,9 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(v) = &flags[2] {
         config.global_inflight = v.parse().map_err(|_| "bad --global-inflight")?;
+    }
+    if let Some(v) = &flags[3] {
+        config.store_root = Some(std::path::PathBuf::from(v));
     }
     let handle = guardrail::server::Server::spawn(config).map_err(|e| format!("bind: {e}"))?;
     eprintln!("listening on {}", handle.addr());

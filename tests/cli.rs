@@ -235,3 +235,53 @@ fn synth_budget_flags_degrade_gracefully() {
     );
     assert_eq!(run(&["synth", clean.to_str().unwrap(), "--max-work", "-1"]).status.code(), Some(2));
 }
+
+#[test]
+fn ingest_then_synth_and_check_from_store() {
+    let dir = tmpdir("store");
+    let _ = std::fs::remove_dir_all(dir.join("tbl"));
+    let clean = write_clean_csv(&dir);
+    let store = dir.join("tbl");
+    let store_arg = store.to_str().unwrap();
+
+    // ingest streams the CSV into a fresh store.
+    let out = run(&["ingest", clean.to_str().unwrap(), "--store", store_arg, "--batch-rows", "64"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("created"), "{stderr}");
+    assert!(stderr.contains("300 row(s)"), "{stderr}");
+
+    // a second ingest appends (durable WAL batches), with --report metrics.
+    let dirty = dir.join("dirty.csv");
+    std::fs::write(&dirty, "zip,city\n94704,gibbon\n").unwrap();
+    let out = run(&["ingest", dirty.to_str().unwrap(), "--store", store_arg, "--report"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("appended to"), "{stderr}");
+    assert!(stderr.contains("rows_total=301"), "{stderr}");
+
+    // synth runs off the store; check finds the appended dirty row.
+    let constraints = dir.join("constraints.gr");
+    let out = run(&["synth", "--store", store_arg, "--output", constraints.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = run(&["check", "--store", store_arg, "--constraints", constraints.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("row 300"), "{stdout}");
+
+    // Giving both a CSV path and --store is a usage error, as is neither.
+    let both = run(&[
+        "check",
+        clean.to_str().unwrap(),
+        "--store",
+        store_arg,
+        "--constraints",
+        constraints.to_str().unwrap(),
+    ]);
+    assert_eq!(both.status.code(), Some(2));
+    let neither = run(&["check", "--constraints", constraints.to_str().unwrap()]);
+    assert_eq!(neither.status.code(), Some(2));
+
+    // ingest without --store is a usage error.
+    assert_eq!(run(&["ingest", clean.to_str().unwrap()]).status.code(), Some(2));
+}

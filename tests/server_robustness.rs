@@ -438,6 +438,110 @@ fn adversarial_error_models_flow_through_the_server() {
     handle.shutdown();
 }
 
+/// Persistent-store round trip: `append` creates the store and durably
+/// ingests batches; `detect_batch` probes only the appended rows through
+/// the cached incremental detector; a server restart over the same store
+/// root replays the WAL and picks up where it left off.
+#[test]
+fn append_and_detect_batch_round_trip_and_survive_restart() {
+    let store_root =
+        std::env::temp_dir().join(format!("guardrail-srv-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let spawn = || {
+        Server::spawn(ServerConfig {
+            store_root: Some(store_root.clone()),
+            debug_ops: true,
+            ..ServerConfig::default()
+        })
+        .expect("bind")
+    };
+
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let fit = client.request(&fit_req(&zip_city_csv(100))).unwrap();
+    assert!(is_ok(&fit), "{fit:?}");
+
+    // detect_batch before any append is a typed NOT_FOUND, not a crash.
+    let missing = client.request(r#"{"op":"detect_batch","table":"zips"}"#).unwrap();
+    assert_eq!(error_kind(&missing), Some("NOT_FOUND"), "{missing:?}");
+
+    // First append creates the store with the payload as its base segment.
+    let append = |client: &mut Client, csv: &str| {
+        let req = format!(r#"{{"op":"append","table":"zips","csv":{}}}"#, quote(csv));
+        client.request(&req).unwrap()
+    };
+    let created = append(&mut client, &zip_city_csv(10));
+    assert!(is_ok(&created), "{created:?}");
+    assert_eq!(created.get("created"), Some(&Json::Bool(true)));
+    assert_eq!(created.get("rows_total").and_then(Json::as_u64), Some(30));
+
+    // Seeding pass: the detector's one-time full scan is not billed as an
+    // incremental scan, and a clean base yields no new violations.
+    let seed = client.request(r#"{"op":"detect_batch","table":"zips"}"#).unwrap();
+    assert!(is_ok(&seed), "{seed:?}");
+    assert_eq!(seed.get("rows_scanned").and_then(Json::as_u64), Some(0));
+    assert_eq!(seed.get("violations").and_then(Json::as_arr).unwrap().len(), 0);
+
+    // A dirty appended batch is probed alone: 2 rows scanned, 1 violation.
+    let batch = append(&mut client, "zip,city\n94704,Portland\n97201,Portland\n");
+    assert!(is_ok(&batch), "{batch:?}");
+    assert_eq!(batch.get("created"), Some(&Json::Bool(false)));
+    assert_eq!(batch.get("rows_appended").and_then(Json::as_u64), Some(2));
+    let scan = client.request(r#"{"op":"detect_batch","table":"zips"}"#).unwrap();
+    assert!(is_ok(&scan), "{scan:?}");
+    assert_eq!(scan.get("rows_scanned").and_then(Json::as_u64), Some(2));
+    assert!(scan.get("rows_probed").and_then(Json::as_u64).unwrap() >= 2);
+    let violations = scan.get("violations").and_then(Json::as_arr).unwrap();
+    assert_eq!(violations.len(), 1, "{scan:?}");
+    assert_eq!(violations[0].get("row").and_then(Json::as_u64), Some(30));
+
+    // The store shows up in status alongside the engines.
+    let status = client.request(r#"{"op":"status"}"#).unwrap();
+    let stores = status.get("stores").and_then(Json::as_arr).unwrap();
+    assert_eq!(stores.len(), 1, "{status:?}");
+    assert_eq!(stores[0].get("rows").and_then(Json::as_u64), Some(32));
+    assert_eq!(stores[0].get("wal_batches").and_then(Json::as_u64), Some(1));
+    handle.shutdown();
+
+    // Restart over the same root: the WAL replays, the engine refits, and
+    // incremental detection finds the same violation plus the new batch's.
+    let handle = spawn();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let refit = client.request(&fit_req(&zip_city_csv(100))).unwrap();
+    assert!(is_ok(&refit), "{refit:?}");
+    // Seeding pass on the reopened store: its full scan covers the 32
+    // replayed rows (31 clean + the dirty row from before the restart).
+    let seed = client.request(r#"{"op":"detect_batch","table":"zips"}"#).unwrap();
+    assert!(is_ok(&seed), "{seed:?}");
+    assert_eq!(seed.get("rows_total").and_then(Json::as_u64), Some(32));
+    let more = append(&mut client, "zip,city\n10001,Berkeley\n");
+    assert!(is_ok(&more), "{more:?}");
+    assert_eq!(more.get("rows_total").and_then(Json::as_u64), Some(33));
+    let scan = client.request(r#"{"op":"detect_batch","table":"zips"}"#).unwrap();
+    assert!(is_ok(&scan), "{scan:?}");
+    assert_eq!(scan.get("rows_scanned").and_then(Json::as_u64), Some(1));
+    let violations = scan.get("violations").and_then(Json::as_arr).unwrap();
+    assert_eq!(violations.len(), 1, "{scan:?}");
+    assert_eq!(violations[0].get("row").and_then(Json::as_u64), Some(32));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&store_root);
+}
+
+/// Without `--store-root`, the store verbs are a typed BAD_REQUEST.
+#[test]
+fn store_verbs_require_a_store_root() {
+    let handle = chaos_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for req in [
+        r#"{"op":"append","table":"zips","csv":"zip,city\n94704,Berkeley\n"}"#,
+        r#"{"op":"detect_batch","table":"zips"}"#,
+    ] {
+        let resp = client.request(req).unwrap();
+        assert_eq!(error_kind(&resp), Some("BAD_REQUEST"), "{resp:?}");
+    }
+    handle.shutdown();
+}
+
 proptest! {
     /// Satellite 3 (pure half): the request parser never panics and always
     /// yields a typed error on arbitrary input. The socket half of the

@@ -4,6 +4,7 @@
 //! minimal wall-clock harness exposing the surface its benches use:
 //! [`Criterion`], [`Criterion::benchmark_group`] / `sample_size` /
 //! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`] with [`BatchSize`],
 //! and the [`criterion_group!`] / [`criterion_main!`] macros.
 //!
 //! Unlike upstream there is no statistical analysis, outlier detection, or
@@ -127,7 +128,21 @@ impl From<String> for BenchmarkId {
     }
 }
 
-/// Passed to the closure under measurement; call [`Bencher::iter`].
+/// Mirrors upstream's `BatchSize`. The vendored harness times every
+/// routine call individually, so the hint carries no behavioural weight —
+/// it exists so benches written against real criterion compile unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap; upstream batches many per allocation.
+    SmallInput,
+    /// Inputs are expensive; upstream batches few per allocation.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`].
 pub struct Bencher {
     /// (iterations, elapsed) samples collected so far.
     samples: Vec<(u64, Duration)>,
@@ -166,6 +181,44 @@ impl Bencher {
                 black_box(routine());
             }
             self.samples.push((per_batch, start.elapsed()));
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding `setup` from
+    /// the measurement — the API for stateful routines whose per-call
+    /// precondition (an appended batch, a dirty table) must be rebuilt
+    /// outside the clock.
+    ///
+    /// Unlike [`iter`](Self::iter), every routine call is timed
+    /// individually, so this suits routines long enough for the OS clock to
+    /// resolve (≳ a few microseconds); `iter` remains the right tool for
+    /// nanosecond-scale routines.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up + calibration: one untimed-setup/timed-routine round.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let per_iter = start.elapsed().as_secs_f64();
+
+        // Measurement: fixed wall-clock budget split into batches; each
+        // batch accumulates routine-only time across its iterations.
+        let batches = 10u64;
+        let total_iters = ((self.measure_time.as_secs_f64() / per_iter.max(1e-12)) as u64)
+            .clamp(batches, 1 << 16);
+        let per_batch = (total_iters / batches).max(1);
+        for _ in 0..batches {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..per_batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.samples.push((per_batch, elapsed));
         }
     }
 }
@@ -266,6 +319,31 @@ mod tests {
         });
         group.finish();
         c.bench_function("top-level", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_once_per_routine_call() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut setups = 0u64;
+        let mut calls = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |input| {
+                    calls += 1;
+                    black_box(input * 3)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, calls, "every routine call gets exactly one fresh input");
+        assert!(calls > 0);
     }
 
     #[test]
